@@ -1,0 +1,161 @@
+// Codec microbenchmarks (google-benchmark): the datapath costs behind the
+// simulator's fast paths and the hardware argument of §7.3.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/crc/crc64.hpp"
+#include "rxl/crc/isn_crc.hpp"
+#include "rxl/flit/message_pack.hpp"
+#include "rxl/rs/flit_fec.hpp"
+#include "rxl/rs/reed_solomon.hpp"
+#include "rxl/transport/flit_codec.hpp"
+
+using namespace rxl;
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t size, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> data(size);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.bounded(256));
+  return data;
+}
+
+void BM_Crc64_Bitwise(benchmark::State& state) {
+  const auto data = random_bytes(242, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(crc::crc64_bitwise(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 242);
+}
+BENCHMARK(BM_Crc64_Bitwise);
+
+void BM_Crc64_Table(benchmark::State& state) {
+  const auto data = random_bytes(242, 2);
+  const crc::Crc64& engine = crc::shared_crc64();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.compute(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 242);
+}
+BENCHMARK(BM_Crc64_Table);
+
+void BM_Crc64_SliceBy8(benchmark::State& state) {
+  const auto data = random_bytes(242, 3);
+  const crc::Crc64& engine = crc::shared_crc64();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.compute_sliced(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 242);
+}
+BENCHMARK(BM_Crc64_SliceBy8);
+
+void BM_IsnCrc_Encode(benchmark::State& state) {
+  const auto data = random_bytes(242, 4);
+  const crc::IsnCrc isn;
+  std::uint16_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isn.encode(data, seq));
+    seq = (seq + 1) & kSeqMask;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 242);
+}
+BENCHMARK(BM_IsnCrc_Encode);
+
+void BM_Rs_Encode(benchmark::State& state) {
+  const rs::ReedSolomon code(83, 2);
+  const auto data = random_bytes(83, 5);
+  std::uint8_t parity[2];
+  for (auto _ : state) {
+    code.encode(data, parity);
+    benchmark::DoNotOptimize(parity);
+  }
+}
+BENCHMARK(BM_Rs_Encode);
+
+void BM_Rs_DecodeClean(benchmark::State& state) {
+  const rs::ReedSolomon code(83, 2);
+  auto codeword = random_bytes(85, 6);
+  code.encode(std::span<const std::uint8_t>(codeword.data(), 83),
+              std::span<std::uint8_t>(codeword.data() + 83, 2));
+  for (auto _ : state) {
+    auto copy = codeword;
+    benchmark::DoNotOptimize(code.decode(copy));
+  }
+}
+BENCHMARK(BM_Rs_DecodeClean);
+
+void BM_Rs_DecodeSingleError(benchmark::State& state) {
+  const rs::ReedSolomon code(83, 2);
+  auto codeword = random_bytes(85, 7);
+  code.encode(std::span<const std::uint8_t>(codeword.data(), 83),
+              std::span<std::uint8_t>(codeword.data() + 83, 2));
+  for (auto _ : state) {
+    auto copy = codeword;
+    copy[17] ^= 0x42;
+    benchmark::DoNotOptimize(code.decode(copy));
+  }
+}
+BENCHMARK(BM_Rs_DecodeSingleError);
+
+void BM_FlitFec_Encode(benchmark::State& state) {
+  const rs::FlitFec fec;
+  auto image = random_bytes(kFlitBytes, 8);
+  for (auto _ : state) {
+    fec.encode(image);
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kFlitBytes);
+}
+BENCHMARK(BM_FlitFec_Encode);
+
+void BM_FlitFec_DecodeCorrupted(benchmark::State& state) {
+  const rs::FlitFec fec;
+  auto image = random_bytes(kFlitBytes, 9);
+  fec.encode(image);
+  for (auto _ : state) {
+    auto copy = image;
+    copy[100] ^= 0x01;
+    benchmark::DoNotOptimize(fec.decode(copy));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kFlitBytes);
+}
+BENCHMARK(BM_FlitFec_DecodeCorrupted);
+
+void BM_FlitCodec_EncodeData(benchmark::State& state) {
+  const transport::FlitCodec codec(state.range(0) == 0
+                                       ? transport::Protocol::kCxl
+                                       : transport::Protocol::kRxl);
+  const auto payload = random_bytes(kPayloadBytes, 10);
+  std::uint16_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode_data(payload, seq, std::nullopt));
+    seq = (seq + 1) & kSeqMask;
+  }
+}
+BENCHMARK(BM_FlitCodec_EncodeData)->Arg(0)->Arg(1);
+
+void BM_FlitCodec_CheckData(benchmark::State& state) {
+  const transport::FlitCodec codec(transport::Protocol::kRxl);
+  const auto payload = random_bytes(kPayloadBytes, 11);
+  const flit::Flit encoded = codec.encode_data(payload, 5, std::nullopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.check_data(encoded, 5));
+  }
+}
+BENCHMARK(BM_FlitCodec_CheckData);
+
+void BM_MessagePack_RoundTrip(benchmark::State& state) {
+  std::vector<flit::PackedMessage> messages;
+  for (std::uint16_t i = 0; i < flit::kSlotsPerFlit; ++i)
+    messages.push_back({flit::MessageKind::kData, i, i});
+  std::vector<std::uint8_t> payload(kPayloadBytes);
+  for (auto _ : state) {
+    flit::pack_messages(messages, payload);
+    benchmark::DoNotOptimize(flit::unpack_messages(payload));
+  }
+}
+BENCHMARK(BM_MessagePack_RoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

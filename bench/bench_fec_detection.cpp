@@ -1,0 +1,82 @@
+// E8: §2.5 — burst behaviour of the 3-way interleaved shortened-RS FEC.
+//
+// The paper states the flit FEC corrects bursts up to 3 symbols and detects
+// 2/3 of 4-symbol, 8/9 of 5-symbol and 26/27 of >= 6-symbol bursts. This
+// bench Monte-Carlos random symbol bursts through the real codec and prints
+// measured fractions beside the combinatorial model.
+#include <cstdio>
+
+#include "rxl/analysis/fec_combinatorics.hpp"
+#include "rxl/common/rng.hpp"
+#include "rxl/common/types.hpp"
+#include "rxl/flit/flit.hpp"
+#include "rxl/phy/error_model.hpp"
+#include "rxl/rs/flit_fec.hpp"
+#include "rxl/sim/stats.hpp"
+
+using namespace rxl;
+
+int main() {
+  std::printf(
+      "RXL reproduction — FEC burst detection (paper §2.5)\n"
+      "====================================================\n\n"
+      "Random contiguous b-symbol bursts (random nonzero magnitudes) injected\n"
+      "into encoded 256 B flits; per-burst decoder outcome classified against\n"
+      "ground truth. 20k trials per burst length.\n\n");
+
+  const rs::FlitFec fec;
+  Xoshiro256 rng(2025);
+  constexpr int kTrials = 20'000;
+
+  sim::TextTable table({"burst symbols", "corrected-ok", "detected", "escaped",
+                        "measured detect", "paper / model", "95% CI"});
+
+  for (std::size_t burst = 1; burst <= 8; ++burst) {
+    int corrected_ok = 0;
+    int detected = 0;
+    int escaped = 0;  // decoder accepted but the image is wrong
+    for (int trial = 0; trial < kTrials; ++trial) {
+      // Fresh random flit, encoded.
+      flit::Flit image;
+      for (std::size_t i = 0; i < kFecProtectedBytes; ++i)
+        image.bytes()[i] = static_cast<std::uint8_t>(rng.bounded(256));
+      fec.encode(image.bytes());
+      const flit::Flit original = image;
+
+      phy::SymbolBurstInjector injector(burst);
+      injector.corrupt(image.bytes(), rng);
+
+      const rs::FecDecodeResult result = fec.decode(image.bytes());
+      if (!result.accepted()) {
+        ++detected;
+      } else if (image == original) {
+        ++corrected_ok;
+      } else {
+        ++escaped;  // miscorrection slipped through FEC (CRC's job now)
+      }
+    }
+    const bool correctable = analysis::burst_correctable(burst);
+    const double model = analysis::burst_detection_probability(burst);
+    const int uncorrectable = detected + escaped;
+    const auto ci = sim::wilson_interval(
+        static_cast<std::uint64_t>(detected),
+        static_cast<std::uint64_t>(uncorrectable == 0 ? 1 : uncorrectable));
+    table.add_row(
+        {std::to_string(burst), std::to_string(corrected_ok),
+         std::to_string(detected), std::to_string(escaped),
+         uncorrectable == 0 ? "n/a (all corrected)" : sim::pct(ci.estimate),
+         correctable ? "corrects 100%" : sim::pct(model),
+         uncorrectable == 0
+             ? "-"
+             : "[" + sim::pct(ci.lower) + "," + sim::pct(ci.upper) + "]"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: bursts <= 3 symbols are always corrected (one error per\n"
+      "interleave lane); 4/5/6+-symbol bursts are detected at ~2/3, ~8/9,\n"
+      "~26/27 — the escape fraction is the per-lane miscorrection probability\n"
+      "(~1/3, the shortened-code valid-position share) raised to the number\n"
+      "of multi-error lanes. Escaped flits are exactly what RXL's end-to-end\n"
+      "64-bit ECRC exists to catch.\n");
+  return 0;
+}

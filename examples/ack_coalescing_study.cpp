@@ -1,0 +1,80 @@
+// ACK coalescing study: the trade-off the paper's §7.2.2 dissects.
+//
+// Baseline CXL must choose between two evils:
+//   * piggyback ACKs  -> cheap, but every ack-carrying flit is a
+//                        sequence-blind spot (ordering failures, Eq. 7);
+//   * standalone ACKs -> sequence-safe, but the reverse link burns a slot
+//                        per ACK (bandwidth loss = p_coalescing, Eq. 13).
+// RXL removes the dilemma: piggybacked ACKs at zero reliability cost.
+#include <cstdio>
+
+#include "rxl/analysis/bandwidth_model.hpp"
+#include "rxl/analysis/reliability_model.hpp"
+#include "rxl/sim/stats.hpp"
+#include "rxl/transport/fabric.hpp"
+
+using namespace rxl;
+
+int main() {
+  std::printf(
+      "ACK coalescing study (paper §7.2.2)\n"
+      "===================================\n\n"
+      "1 switching level, burst rate 3e-3/link, 150k flits per direction.\n"
+      "Sweeping the coalescing factor c (p_coalescing = 1/c):\n\n");
+
+  sim::TextTable table({"c", "p", "mode", "protocol", "order fails",
+                        "reverse ACK flits", "analytic BW loss (Eq. 13)"});
+
+  for (const unsigned coalesce : {1u, 4u, 16u}) {
+    struct Mode {
+      const char* name;
+      transport::Protocol protocol;
+      link::AckPolicy policy;
+    };
+    const Mode modes[] = {
+        {"piggyback", transport::Protocol::kCxl, link::AckPolicy::kPiggyback},
+        {"standalone", transport::Protocol::kCxl, link::AckPolicy::kStandalone},
+        {"piggyback", transport::Protocol::kRxl, link::AckPolicy::kPiggyback},
+    };
+    for (const Mode& mode : modes) {
+      transport::FabricConfig config;
+      config.protocol.protocol = mode.protocol;
+      config.protocol.ack_policy = mode.policy;
+      config.protocol.coalesce_factor = coalesce;
+      config.switch_levels = 1;
+      config.burst_injection_rate = 3e-3;
+      config.seed = 31;
+      config.downstream_flits = 150'000;
+      config.upstream_flits = 150'000;
+      config.horizon = 900'000'000;
+      const auto report = transport::run_fabric(config);
+
+      const std::uint64_t order =
+          report.downstream.scoreboard.order_violations +
+          report.downstream.scoreboard.duplicates +
+          report.upstream.scoreboard.order_violations +
+          report.upstream.scoreboard.duplicates;
+      const std::uint64_t ack_flits = report.downstream.tx.control_flits_sent +
+                                      report.upstream.tx.control_flits_sent;
+      analysis::BandwidthParams params;
+      params.p_coalescing = 1.0 / coalesce;
+      const double eq13 = mode.policy == link::AckPolicy::kStandalone
+                              ? analysis::bw_loss_cxl_standalone_ack(params)
+                              : 0.0;
+      table.add_row({std::to_string(coalesce), sim::sci(1.0 / coalesce, 1),
+                     mode.name, transport::protocol_name(mode.protocol),
+                     std::to_string(order), std::to_string(ack_flits),
+                     mode.policy == link::AckPolicy::kStandalone
+                         ? sim::pct(eq13)
+                         : "~0 (rides on data)"});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: CXL+piggyback shows ordering failures that grow with\n"
+      "p_coalescing; CXL+standalone eliminates them but pays Eq. 13's\n"
+      "bandwidth (one reverse ACK flit per c data flits — 100%% of a link at\n"
+      "c=1). RXL+piggyback sits in the empty quadrant: zero ordering\n"
+      "failures AND zero ACK bandwidth, which is the paper's point.\n");
+  return 0;
+}

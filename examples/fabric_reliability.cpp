@@ -1,0 +1,85 @@
+// Fabric reliability demo: the same error-prone 2-level switched fabric run
+// under baseline CXL and under RXL, with the application-level damage
+// reported side by side.
+//
+// Usage: fabric_reliability [burst_rate] [levels]
+//   burst_rate  per-link, per-flit 4-symbol burst probability (default 5e-3)
+//   levels      switching levels (default 2)
+#include <cstdio>
+#include <cstdlib>
+
+#include "rxl/sim/stats.hpp"
+#include "rxl/transport/fabric.hpp"
+
+using namespace rxl;
+
+int main(int argc, char** argv) {
+  const double burst_rate = argc > 1 ? std::atof(argv[1]) : 5e-3;
+  const unsigned levels = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 2;
+
+  std::printf(
+      "Fabric reliability: CXL vs RXL, %u switching level(s), burst rate %g\n"
+      "====================================================================\n\n"
+      "Topology: host <-> %u switch(es) <-> device, bidirectional saturating\n"
+      "traffic, 200k flits per direction. Burst errors make switches drop\n"
+      "flits silently; the scoreboard reports what the application sees.\n\n",
+      levels, burst_rate, levels);
+
+  sim::TextTable table({"metric", "CXL", "RXL"});
+  transport::FabricReport reports[2];
+  int column = 0;
+  for (const auto protocol :
+       {transport::Protocol::kCxl, transport::Protocol::kRxl}) {
+    transport::FabricConfig config;
+    config.protocol.protocol = protocol;
+    config.protocol.coalesce_factor = 10;
+    config.switch_levels = levels;
+    config.burst_injection_rate = burst_rate;
+    config.seed = 1234;
+    config.downstream_flits = 200'000;
+    config.upstream_flits = 200'000;
+    config.horizon = 1'000'000'000;  // 1 ms
+    reports[column++] = transport::run_fabric(config);
+  }
+
+  auto row = [&](const char* name, auto getter) {
+    table.add_row({name, std::to_string(getter(reports[0])),
+                   std::to_string(getter(reports[1]))});
+  };
+  row("flits delivered in order", [](const transport::FabricReport& r) {
+    return r.downstream.scoreboard.in_order + r.upstream.scoreboard.in_order;
+  });
+  row("switch drops (silent)", [](const transport::FabricReport& r) {
+    return r.downstream.switch_dropped_fec + r.upstream.switch_dropped_fec;
+  });
+  row("ordering violations", [](const transport::FabricReport& r) {
+    return r.downstream.scoreboard.order_violations +
+           r.upstream.scoreboard.order_violations;
+  });
+  row("duplicate deliveries", [](const transport::FabricReport& r) {
+    return r.downstream.scoreboard.duplicates + r.upstream.scoreboard.duplicates;
+  });
+  row("flits lost forever", [](const transport::FabricReport& r) {
+    return r.downstream.scoreboard.missing + r.upstream.scoreboard.missing;
+  });
+  row("corrupt data consumed", [](const transport::FabricReport& r) {
+    return r.downstream.scoreboard.data_corruptions +
+           r.upstream.scoreboard.data_corruptions;
+  });
+  row("go-back-N retry rounds", [](const transport::FabricReport& r) {
+    return r.downstream.tx.retry_rounds + r.upstream.tx.retry_rounds;
+  });
+  row("unchecked (ack-masked) deliveries", [](const transport::FabricReport& r) {
+    return r.downstream.rx_extra.unchecked_deliveries +
+           r.upstream.rx_extra.unchecked_deliveries;
+  });
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: identical physics, different protocols. CXL turns silent\n"
+      "switch drops into application-visible ordering damage through its\n"
+      "ack-carrying (sequence-less) flits; RXL turns every one of them into\n"
+      "a retry. RXL pays the same bandwidth as CXL-with-piggybacking\n"
+      "(compare retry rounds) — reliability is the only difference.\n");
+  return 0;
+}

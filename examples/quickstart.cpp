@@ -1,0 +1,70 @@
+// Quickstart: the ISN mechanism in ~60 lines.
+//
+// Builds two RXL flits with the public codec API, "transmits" them, drops
+// one, and shows the receiver detecting the drop purely through the CRC —
+// no sequence number ever travels on the wire (paper Fig. 6).
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "rxl/common/bytes.hpp"
+#include "rxl/transport/flit_codec.hpp"
+
+using namespace rxl;
+
+int main() {
+  std::printf("ISN quickstart — implicit sequence numbers in action\n");
+  std::printf("====================================================\n\n");
+
+  const transport::FlitCodec codec(transport::Protocol::kRxl);
+
+  // The sender prepares three payloads and encodes them with consecutive
+  // sequence numbers. Note: encode_data folds the SeqNum into the CRC; the
+  // header's FSN field stays zero (it is free for piggybacked ACKs).
+  std::vector<std::uint8_t> payload_a(kPayloadBytes, 'A');
+  std::vector<std::uint8_t> payload_b(kPayloadBytes, 'B');
+  std::vector<std::uint8_t> payload_c(kPayloadBytes, 'C');
+  const flit::Flit flit_a = codec.encode_data(payload_a, /*seq=*/0, std::nullopt);
+  const flit::Flit flit_b = codec.encode_data(payload_b, /*seq=*/1, std::nullopt);
+  const flit::Flit flit_c = codec.encode_data(payload_c, /*seq=*/2, std::nullopt);
+
+  std::printf("sender: encoded flits with SeqNum 0, 1, 2\n");
+  std::printf("        flit A header+CRC bytes (no sequence field on the wire):\n%s\n",
+              hexdump(std::span(flit_a.bytes()).first(8)).c_str());
+
+  // The receiver tracks only its expected sequence number (ESeqNum).
+  std::uint16_t expected_seq = 0;
+
+  // --- Flit A arrives. CRC check with ESeqNum = 0 passes. ---
+  transport::RxCheck check = codec.check_data(flit_a, expected_seq);
+  std::printf("receiver: flit A, ESeq=%u -> CRC %s (accept, deliver)\n",
+              expected_seq, check.crc_ok ? "OK" : "MISMATCH");
+  ++expected_seq;
+
+  // --- Flit B is silently dropped by a switch. Nothing arrives. ---
+  std::printf("  ...switch silently drops flit B (SeqNum 1)...\n");
+
+  // --- Flit C arrives next. Its CRC was encoded with SeqNum 2, but the
+  //     receiver checks with ESeqNum 1: mismatch => drop detected. ---
+  check = codec.check_data(flit_c, expected_seq);
+  std::printf("receiver: flit C, ESeq=%u -> CRC %s (drop detected! NACK)\n",
+              expected_seq, check.crc_ok ? "OK" : "MISMATCH");
+
+  // --- Go-back-N replay: B then C arrive again, in order. ---
+  check = codec.check_data(flit_b, expected_seq);
+  std::printf("receiver: replayed flit B, ESeq=%u -> CRC %s (accept)\n",
+              expected_seq, check.crc_ok ? "OK" : "MISMATCH");
+  ++expected_seq;
+  check = codec.check_data(flit_c, expected_seq);
+  std::printf("receiver: replayed flit C, ESeq=%u -> CRC %s (accept)\n",
+              expected_seq, check.crc_ok ? "OK" : "MISMATCH");
+
+  std::printf(
+      "\nThe sequence gap was caught by the CRC alone: zero header bits\n"
+      "spent, 10 XOR gates of hardware (paper §7.3). Compare with baseline\n"
+      "CXL, where a flit whose FSN field carries an AckNum cannot be\n"
+      "sequence-checked at all (run fabric_reliability to see the fallout).\n");
+  return 0;
+}

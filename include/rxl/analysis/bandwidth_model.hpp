@@ -1,0 +1,52 @@
+// Closed-form performance model: the paper's Eqs. 11-14 (§7.2) plus the
+// §5 reassembly-buffer sizing arguments.
+#pragma once
+
+#include <cstdint>
+
+#include "rxl/common/types.hpp"
+
+namespace rxl::analysis {
+
+struct BandwidthParams {
+  double fer_uncorrectable = 3e-5;  ///< per-link post-FEC uncorrectable rate
+  TimePs slot = kFlitSlotPs;        ///< 2 ns per 256 B flit
+  TimePs retry_latency = kRetryLatencyPs;  ///< go-back-N penalty, 100 ns
+  double p_coalescing = 0.1;
+};
+
+/// Shared kernel of Eqs. 11/12/14: BW loss when a fraction `retry_rate` of
+/// flits each occupy the channel for slot + retry_latency instead of slot.
+[[nodiscard]] double retry_bandwidth_loss(double retry_rate,
+                                          const BandwidthParams& params);
+
+/// Eq. 11: CXL direct connection (retry rate = FER_UC).
+[[nodiscard]] double bw_loss_cxl_direct(const BandwidthParams& params);
+
+/// Eq. 12: CXL through `levels` switches with ACK piggybacking
+/// (retry rate = (levels + 1) * FER_UC: drops at each switch ingress plus
+/// uncorrectables on the final link).
+[[nodiscard]] double bw_loss_cxl_switched(const BandwidthParams& params,
+                                          unsigned levels = 1);
+
+/// Eq. 13: CXL with separate (non-piggybacked) ACK flits — the loss is the
+/// reverse-direction ACK traffic itself.
+[[nodiscard]] double bw_loss_cxl_standalone_ack(const BandwidthParams& params);
+
+/// Eq. 14: RXL through `levels` switches (same retry occupancy as Eq. 12;
+/// ISN detects the drops that CXL's piggybacked flits would hide, at no
+/// extra bandwidth).
+[[nodiscard]] double bw_loss_rxl_switched(const BandwidthParams& params,
+                                          unsigned levels = 1);
+
+/// §5 buffer-sizing: reassembly buffer (bits) needed to support reordering
+/// with the given link bandwidth and worst-case arrival skew.
+[[nodiscard]] double reorder_buffer_bits(double link_bits_per_second,
+                                         double skew_seconds);
+
+/// §5: buffer (bits) to absorb in-flight flits during the NACK stop window
+/// (selective-repeat support).
+[[nodiscard]] double selective_repeat_buffer_bits(double link_bits_per_second,
+                                                  double stop_latency_seconds);
+
+}  // namespace rxl::analysis

@@ -1,0 +1,69 @@
+// Closed-form reliability model: the paper's Eqs. 1-10 and Fig. 8.
+//
+// These are the exact formulas of §7.1, parameterised so the benches can
+// sweep BER, coalescing level and switching depth. Rare-event rates like
+// 1.6e-24 cannot be Monte-Carlo'd; the paper evaluates them analytically
+// and so do we (the simulator validates the model's *shape* at inflated
+// error rates — see bench_fig8_fit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rxl/common/types.hpp"
+
+namespace rxl::analysis {
+
+struct ReliabilityParams {
+  double ber = 1e-6;                 ///< CXL 3.0 BER tolerance (§2.2)
+  std::size_t flit_bits = 2048;      ///< 256 B flit
+  double fer_uncorrectable = 3e-5;   ///< PCIe 6.0 post-FEC bound (Eq. 2)
+  double p_coalescing = 0.1;         ///< fraction of flits carrying AckNum
+  double crc_escape = 0x1p-64;       ///< 64-bit CRC undetected probability
+  double flits_per_second = kFlitsPerSecond;  ///< x16 link, 500 M flits/s
+};
+
+/// Eq. 1: FER = 1 - (1 - BER)^flit_bits.
+[[nodiscard]] double flit_error_rate(const ReliabilityParams& params);
+
+/// Eq. 3: fraction of erroneous flits FEC corrects.
+[[nodiscard]] double fec_correct_fraction(const ReliabilityParams& params);
+
+/// Eq. 4: undetectable flit error rate after FEC + CRC (direct link).
+[[nodiscard]] double fer_undetected_direct(const ReliabilityParams& params);
+
+/// Converts a per-flit failure rate into FIT (failures per 1e9 device-hours)
+/// — the transform applied in Eqs. 5, 8, 10.
+[[nodiscard]] double fit_from_rate(double per_flit_rate,
+                                   const ReliabilityParams& params);
+
+/// Eq. 6: flit-drop rate at the endpoint with `levels` switching levels
+/// (uncorrectable flits discarded per level accumulate).
+[[nodiscard]] double fer_drop(const ReliabilityParams& params, unsigned levels);
+
+/// Eq. 7: CXL ordering-failure rate (drops masked by ACK-carrying flits).
+[[nodiscard]] double fer_order_cxl(const ReliabilityParams& params,
+                                   unsigned levels);
+
+/// Eq. 9: RXL undetected failure rate (drops all detected; only CRC escapes
+/// remain).
+[[nodiscard]] double fer_undetected_rxl(const ReliabilityParams& params,
+                                        unsigned levels);
+
+/// Device FIT for the two protocols at a given switching depth: the series
+/// plotted in Fig. 8. For CXL with levels >= 1 the dominant failure mode is
+/// ordering (Eq. 8); at 0 levels it is the CRC escape (Eq. 5).
+[[nodiscard]] double fit_cxl(const ReliabilityParams& params, unsigned levels);
+[[nodiscard]] double fit_rxl(const ReliabilityParams& params, unsigned levels);
+
+struct Fig8Row {
+  unsigned levels = 0;
+  double fit_cxl = 0.0;
+  double fit_rxl = 0.0;
+};
+
+/// Generates the Fig. 8 series for levels 0..max_levels.
+[[nodiscard]] std::vector<Fig8Row> fig8_series(const ReliabilityParams& params,
+                                               unsigned max_levels);
+
+}  // namespace rxl::analysis

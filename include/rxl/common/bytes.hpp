@@ -1,0 +1,44 @@
+// Byte-buffer helpers: bit flips, hexdump, little-endian scalar packing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rxl {
+
+/// Flips bit `bit_index` (0 = LSB of byte 0) in `buf`.
+/// Precondition: bit_index < buf.size() * 8.
+void flip_bit(std::span<std::uint8_t> buf, std::size_t bit_index) noexcept;
+
+/// Reads bit `bit_index` (0 = LSB of byte 0).
+[[nodiscard]] bool get_bit(std::span<const std::uint8_t> buf,
+                           std::size_t bit_index) noexcept;
+
+/// Number of set bits across the whole buffer.
+[[nodiscard]] std::size_t popcount(std::span<const std::uint8_t> buf) noexcept;
+
+/// Number of differing bits between two equal-sized buffers.
+[[nodiscard]] std::size_t hamming_distance(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) noexcept;
+
+/// Little-endian scalar store/load (the flit format is little-endian).
+void store_le16(std::span<std::uint8_t> buf, std::size_t offset,
+                std::uint16_t value) noexcept;
+void store_le32(std::span<std::uint8_t> buf, std::size_t offset,
+                std::uint32_t value) noexcept;
+void store_le64(std::span<std::uint8_t> buf, std::size_t offset,
+                std::uint64_t value) noexcept;
+[[nodiscard]] std::uint16_t load_le16(std::span<const std::uint8_t> buf,
+                                      std::size_t offset) noexcept;
+[[nodiscard]] std::uint32_t load_le32(std::span<const std::uint8_t> buf,
+                                      std::size_t offset) noexcept;
+[[nodiscard]] std::uint64_t load_le64(std::span<const std::uint8_t> buf,
+                                      std::size_t offset) noexcept;
+
+/// Classic offset+hex+ASCII dump, for debugging and example output.
+[[nodiscard]] std::string hexdump(std::span<const std::uint8_t> buf,
+                                  std::size_t bytes_per_line = 16);
+
+}  // namespace rxl

@@ -1,0 +1,58 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component in the library takes an explicit seed so that
+// simulation runs are exactly reproducible. We use xoshiro256** (public
+// domain, Blackman & Vigna) rather than std::mt19937_64: it is faster,
+// has a smaller state, and its output is identical across standard library
+// implementations, which matters for cross-platform reproducibility of the
+// experiment logs in EXPERIMENTS.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rxl {
+
+/// xoshiro256** 1.0 generator with splitmix64 seeding.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64,
+  /// as recommended by the generator's authors.
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Number of successes in n independent Bernoulli(p) trials.
+  /// Uses inversion for small n*p and a direct loop otherwise; exact
+  /// distribution, no normal approximation (the tails matter for rare
+  /// error-injection events).
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
+  /// Geometric: number of failures before the first success, i.e. the
+  /// index of the next success in a Bernoulli(p) stream. Returns a huge
+  /// value if p == 0.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Derives an independent child generator (for per-component streams).
+  Xoshiro256 fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace rxl

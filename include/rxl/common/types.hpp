@@ -1,0 +1,43 @@
+// Core scalar types and constants shared across the RXL library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rxl {
+
+/// Simulation time in picoseconds. 64 bits covers ~213 days of simulated
+/// time, far beyond any run in this repository.
+using TimePs = std::uint64_t;
+
+/// One flit slot on a x16 CXL 3.0 link: a 256 B flit every 2 ns (paper §7.2).
+inline constexpr TimePs kFlitSlotPs = 2'000;
+
+/// Go-back-N retry round-trip assumed by the paper's bandwidth analysis
+/// (§7.2, citing PCIe 6.0): 100 ns between a lost flit and the retried
+/// flit re-occupying the channel.
+inline constexpr TimePs kRetryLatencyPs = 100'000;
+
+/// CXL 3.0 full-speed flit geometry (paper Fig. 3).
+inline constexpr std::size_t kFlitBytes = 256;
+inline constexpr std::size_t kHeaderBytes = 2;
+inline constexpr std::size_t kPayloadBytes = 240;
+inline constexpr std::size_t kCrcBytes = 8;
+inline constexpr std::size_t kFecBytes = 6;
+/// Bytes covered by FEC: header + payload + CRC.
+inline constexpr std::size_t kFecProtectedBytes =
+    kHeaderBytes + kPayloadBytes + kCrcBytes;  // 250
+static_assert(kFecProtectedBytes + kFecBytes == kFlitBytes);
+
+/// 10-bit flit sequence number space (header FSN field).
+inline constexpr std::uint16_t kSeqBits = 10;
+inline constexpr std::uint16_t kSeqModulus = 1u << kSeqBits;  // 1024
+inline constexpr std::uint16_t kSeqMask = kSeqModulus - 1;
+
+/// Flits per second on a saturated x16 CXL 3.0 link (500 M flits/s, §7.1.1).
+inline constexpr double kFlitsPerSecond = 500e6;
+
+/// Hours per FIT window: FIT counts failures per 1e9 device-hours.
+inline constexpr double kFitHours = 1e9;
+
+}  // namespace rxl

@@ -1,0 +1,75 @@
+// The 256 B CXL 3.0 flit image and its field accessors (paper Fig. 3).
+//
+// Layout:
+//   [0..1]     2 B header (FSN, ReplayCmd, Type)
+//   [2..241]   240 B payload
+//   [242..249] 8 B CRC
+//   [250..255] 6 B FEC
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "rxl/common/types.hpp"
+#include "rxl/flit/header.hpp"
+
+namespace rxl::flit {
+
+inline constexpr std::size_t kPayloadOffset = kHeaderBytes;               // 2
+inline constexpr std::size_t kCrcOffset = kHeaderBytes + kPayloadBytes;   // 242
+inline constexpr std::size_t kFecOffset = kCrcOffset + kCrcBytes;         // 250
+
+/// A raw 256 B flit image with typed views onto its fields. Copyable value
+/// type; all protocol state lives in the endpoints, not here.
+class Flit {
+ public:
+  Flit() noexcept { bytes_.fill(0); }
+
+  [[nodiscard]] std::span<std::uint8_t, kFlitBytes> bytes() noexcept {
+    return std::span<std::uint8_t, kFlitBytes>(bytes_);
+  }
+  [[nodiscard]] std::span<const std::uint8_t, kFlitBytes> bytes() const noexcept {
+    return std::span<const std::uint8_t, kFlitBytes>(bytes_);
+  }
+
+  /// Header + payload: the region the CRC protects.
+  [[nodiscard]] std::span<const std::uint8_t> crc_protected_region() const noexcept {
+    return std::span<const std::uint8_t>(bytes_.data(), kCrcOffset);
+  }
+
+  [[nodiscard]] std::span<std::uint8_t> payload() noexcept {
+    return std::span<std::uint8_t>(bytes_.data() + kPayloadOffset, kPayloadBytes);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return std::span<const std::uint8_t>(bytes_.data() + kPayloadOffset,
+                                         kPayloadBytes);
+  }
+
+  [[nodiscard]] FlitHeader header() const noexcept {
+    return unpack_header(bytes());
+  }
+  void set_header(const FlitHeader& header) noexcept {
+    pack_header(header, bytes());
+  }
+
+  [[nodiscard]] std::uint64_t crc_field() const noexcept;
+  void set_crc_field(std::uint64_t crc) noexcept;
+
+  [[nodiscard]] std::span<const std::uint8_t> fec_field() const noexcept {
+    return std::span<const std::uint8_t>(bytes_.data() + kFecOffset, kFecBytes);
+  }
+
+  friend bool operator==(const Flit& a, const Flit& b) noexcept {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::array<std::uint8_t, kFlitBytes> bytes_;
+};
+
+/// 64-bit FNV-1a over the flit image; used by the simulator as the
+/// ground-truth identity of an encoded flit (pristine-detection fast path).
+[[nodiscard]] std::uint64_t flit_fingerprint(const Flit& flit) noexcept;
+
+}  // namespace rxl::flit

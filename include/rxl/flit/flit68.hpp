@@ -1,0 +1,96 @@
+// The 68 B CXL flit (paper §2.2, Fig. 3 context).
+//
+// CXL 3.0's reduced-speed mode trades the 256 B flit's FEC for latency: a
+// 68 B flit is 2 B header + 64 B payload + 2 B CRC-16, with no FEC (at
+// lower signalling rates the raw BER makes FEC unnecessary). The paper
+// notes 68 B flits are "unsuitable for high-performance configurations"
+// (§4); this module exists to quantify that — and to show ISN is not tied
+// to a particular CRC width: the same XOR-fold construction works over
+// CRC-16, with a 2^-16 escape probability instead of 2^-64.
+//
+// Layout:
+//   [0..1]   2 B header (same FSN/ReplayCmd/Type format as the 256 B flit)
+//   [2..65]  64 B payload (one cache line)
+//   [66..67] 2 B CRC-16/CCITT
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "rxl/flit/header.hpp"
+
+namespace rxl::flit {
+
+inline constexpr std::size_t kFlit68Bytes = 68;
+inline constexpr std::size_t kFlit68PayloadBytes = 64;
+inline constexpr std::size_t kFlit68PayloadOffset = kHeaderBytes;  // 2
+inline constexpr std::size_t kFlit68CrcOffset =
+    kHeaderBytes + kFlit68PayloadBytes;  // 66
+
+/// A raw 68 B flit image with typed field views.
+class Flit68 {
+ public:
+  Flit68() noexcept { bytes_.fill(0); }
+
+  [[nodiscard]] std::span<std::uint8_t, kFlit68Bytes> bytes() noexcept {
+    return std::span<std::uint8_t, kFlit68Bytes>(bytes_);
+  }
+  [[nodiscard]] std::span<const std::uint8_t, kFlit68Bytes> bytes()
+      const noexcept {
+    return std::span<const std::uint8_t, kFlit68Bytes>(bytes_);
+  }
+
+  [[nodiscard]] std::span<std::uint8_t> payload() noexcept {
+    return std::span<std::uint8_t>(bytes_.data() + kFlit68PayloadOffset,
+                                   kFlit68PayloadBytes);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return std::span<const std::uint8_t>(bytes_.data() + kFlit68PayloadOffset,
+                                         kFlit68PayloadBytes);
+  }
+
+  /// Header + payload: the CRC-protected region.
+  [[nodiscard]] std::span<const std::uint8_t> crc_protected_region()
+      const noexcept {
+    return std::span<const std::uint8_t>(bytes_.data(), kFlit68CrcOffset);
+  }
+
+  [[nodiscard]] FlitHeader header() const noexcept {
+    return unpack_header(bytes());
+  }
+  void set_header(const FlitHeader& header) noexcept {
+    pack_header(header, bytes());
+  }
+
+  [[nodiscard]] std::uint16_t crc_field() const noexcept;
+  void set_crc_field(std::uint16_t crc) noexcept;
+
+  friend bool operator==(const Flit68& a, const Flit68& b) noexcept {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::array<std::uint8_t, kFlit68Bytes> bytes_;
+};
+
+/// ISN over CRC-16: encodes/checks a 68 B flit with the 10-bit sequence
+/// number folded into the payload's low bits, mirroring the 256 B flit's
+/// IsnCrc but with the narrow link CRC.
+class Flit68Codec {
+ public:
+  /// Builds an encoded data flit (payload <= 64 B, zero-padded).
+  [[nodiscard]] Flit68 encode_data(std::span<const std::uint8_t> payload,
+                                   std::uint16_t seq) const;
+
+  /// True iff the CRC matches with `expected_seq` folded in: payload intact
+  /// AND sequence aligned — the same ISN property at 2^-16 escape.
+  [[nodiscard]] bool check(const Flit68& flit,
+                           std::uint16_t expected_seq) const;
+
+ private:
+  [[nodiscard]] std::uint16_t crc_with_seq(const Flit68& flit,
+                                           std::uint16_t seq) const;
+};
+
+}  // namespace rxl::flit

@@ -1,0 +1,49 @@
+// 2-byte flit header: FSN[9:0], ReplayCmd[1:0], Type[3:0] (paper Fig. 3).
+//
+// Wire layout (little-endian bit order within the 16-bit header word):
+//   byte 0        : FSN[7:0]
+//   byte 1 [1:0]  : FSN[9:8]
+//   byte 1 [3:2]  : ReplayCmd
+//   byte 1 [7:4]  : Type
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rxl/common/types.hpp"
+
+namespace rxl::flit {
+
+/// Interpretation of the FSN field (paper §4.1).
+enum class ReplayCmd : std::uint8_t {
+  kSeqNum = 0,       ///< FSN carries the flit's own sequence number.
+  kAck = 1,          ///< FSN carries an acknowledgment number (piggyback).
+  kNackGoBackN = 2,  ///< FSN = last valid received SeqNum; go-back-N retry.
+  kNackSingle = 3,   ///< FSN = last valid received SeqNum; single-flit retry.
+};
+
+/// Flit content type carried in the 4-bit Types field. The CXL spec packs
+/// many slot formats; this reproduction needs only these.
+enum class FlitType : std::uint8_t {
+  kIdle = 0,     ///< No payload (filler).
+  kData = 1,     ///< Payload carries packed transaction messages.
+  kControl = 2,  ///< Standalone ACK/NACK flit (no payload).
+};
+
+struct FlitHeader {
+  std::uint16_t fsn = 0;  ///< 10-bit sequence/ack field.
+  ReplayCmd replay_cmd = ReplayCmd::kSeqNum;
+  FlitType type = FlitType::kIdle;
+
+  friend bool operator==(const FlitHeader&, const FlitHeader&) = default;
+};
+
+/// Serialises `header` into the first two bytes of `buf`.
+void pack_header(const FlitHeader& header, std::span<std::uint8_t> buf) noexcept;
+
+/// Parses the first two bytes of `buf`. Unknown Type values decode to their
+/// raw numeric value (the enum is not exhaustive on the wire).
+[[nodiscard]] FlitHeader unpack_header(
+    std::span<const std::uint8_t> buf) noexcept;
+
+}  // namespace rxl::flit

@@ -1,0 +1,54 @@
+// Packing of transaction messages into a flit payload.
+//
+// CXL packs tens of transaction messages (requests, responses, data headers)
+// into each 256 B flit — the paper quotes up to 44 messages per 128 B group,
+// which is why a single dropped flit can disrupt so many transactions
+// (§2.3, §4.2). The real CXL slot formats are far more intricate than this
+// reproduction needs; we use a fixed 5-byte slot that preserves the property
+// under study: many independent messages share the fate of one flit.
+//
+// Slot wire format (5 bytes):
+//   byte 0       : message kind (0 = empty slot)
+//   bytes 1..2   : CQID (command queue id, LE)
+//   bytes 3..4   : tag (per-CQID stream position, LE)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rxl/common/types.hpp"
+
+namespace rxl::flit {
+
+/// Transaction-layer message kinds (paper Fig. 5 uses requests and data).
+enum class MessageKind : std::uint8_t {
+  kEmpty = 0,
+  kRequest = 1,
+  kResponse = 2,
+  kData = 3,
+};
+
+/// One packed transaction message.
+struct PackedMessage {
+  MessageKind kind = MessageKind::kEmpty;
+  std::uint16_t cqid = 0;  ///< command queue id (ordering domain)
+  std::uint16_t tag = 0;   ///< position within the CQID stream
+
+  friend bool operator==(const PackedMessage&, const PackedMessage&) = default;
+};
+
+inline constexpr std::size_t kSlotBytes = 5;
+/// 48 message slots per 240 B payload.
+inline constexpr std::size_t kSlotsPerFlit = kPayloadBytes / kSlotBytes;
+
+/// Writes up to kSlotsPerFlit messages into `payload` (240 B); remaining
+/// slots are zeroed (empty). Returns the number of messages packed.
+std::size_t pack_messages(std::span<const PackedMessage> messages,
+                          std::span<std::uint8_t> payload) noexcept;
+
+/// Extracts the non-empty messages from `payload`.
+[[nodiscard]] std::vector<PackedMessage> unpack_messages(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace rxl::flit

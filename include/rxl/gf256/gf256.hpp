@@ -1,0 +1,92 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// Field: GF(2^8) with primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
+// the polynomial used by CCSDS / most wire-protocol RS codes. The primitive
+// element alpha = 0x02 generates the multiplicative group of order 255.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rxl::gf256 {
+
+inline constexpr unsigned kPrimitivePoly = 0x11D;
+inline constexpr unsigned kFieldSize = 256;
+inline constexpr unsigned kGroupOrder = 255;
+
+namespace detail {
+
+/// Builds exp table: exp[i] = alpha^i for i in [0, 510) so products of two
+/// logs can be looked up without a mod-255 reduction.
+constexpr std::array<std::uint8_t, 512> build_exp_table() {
+  std::array<std::uint8_t, 512> table{};
+  unsigned value = 1;
+  for (unsigned i = 0; i < kGroupOrder; ++i) {
+    table[i] = static_cast<std::uint8_t>(value);
+    value <<= 1;
+    if (value & 0x100) value ^= kPrimitivePoly;
+  }
+  for (unsigned i = kGroupOrder; i < 512; ++i)
+    table[i] = table[i - kGroupOrder];
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> build_log_table() {
+  std::array<std::uint8_t, 256> table{};
+  const auto exp = build_exp_table();
+  for (unsigned i = 0; i < kGroupOrder; ++i) table[exp[i]] = static_cast<std::uint8_t>(i);
+  table[0] = 0;  // log(0) is undefined; callers must check for zero.
+  return table;
+}
+
+inline constexpr auto kExp = build_exp_table();
+inline constexpr auto kLog = build_log_table();
+
+}  // namespace detail
+
+/// Addition and subtraction coincide in characteristic 2.
+[[nodiscard]] constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+  return a ^ b;
+}
+
+/// alpha^power for any non-negative power (reduced mod 255).
+[[nodiscard]] constexpr std::uint8_t alpha_pow(unsigned power) noexcept {
+  return detail::kExp[power % kGroupOrder];
+}
+
+/// Discrete log base alpha. Precondition: a != 0.
+[[nodiscard]] constexpr unsigned log(std::uint8_t a) noexcept {
+  return detail::kLog[a];
+}
+
+[[nodiscard]] constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return detail::kExp[detail::kLog[a] + detail::kLog[b]];
+}
+
+/// Multiplicative inverse. Precondition: a != 0.
+[[nodiscard]] constexpr std::uint8_t inv(std::uint8_t a) noexcept {
+  return detail::kExp[kGroupOrder - detail::kLog[a]];
+}
+
+/// a / b. Precondition: b != 0.
+[[nodiscard]] constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0) return 0;
+  return detail::kExp[detail::kLog[a] + kGroupOrder - detail::kLog[b]];
+}
+
+/// a^power (power >= 0; a^0 == 1 including for a == 0 by convention here,
+/// since the RS decoder never evaluates 0^0).
+[[nodiscard]] constexpr std::uint8_t pow(std::uint8_t a, unsigned power) noexcept {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  return detail::kExp[(detail::kLog[a] * power) % kGroupOrder];
+}
+
+/// Evaluates the polynomial poly[0] + poly[1]*x + ... + poly[n-1]*x^(n-1)
+/// at the point x (Horner's rule, coefficients in ascending-degree order).
+[[nodiscard]] std::uint8_t poly_eval(std::span<const std::uint8_t> poly,
+                                     std::uint8_t x) noexcept;
+
+}  // namespace rxl::gf256

@@ -1,0 +1,70 @@
+// Go-back-N replay buffer: fully-encoded flits awaiting acknowledgment.
+//
+// The transmitter keeps every sent-but-unacked flit so a NACK (or an ack
+// timeout) can replay the stream from any in-window sequence number. The
+// buffer is the resource whose size bounds ACK coalescing (§7.2.2): deeper
+// coalescing means acks arrive later, which means more flits held here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "rxl/flit/flit.hpp"
+#include "rxl/link/sequence.hpp"
+
+namespace rxl::link {
+
+class RetryBuffer {
+ public:
+  /// @param capacity maximum unacked flits (<= 512 so window order is
+  ///                 unambiguous in the 10-bit space).
+  explicit RetryBuffer(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool full() const noexcept { return entries_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Sequence number of the oldest unacked flit (if any).
+  [[nodiscard]] std::optional<std::uint16_t> oldest_seq() const noexcept;
+
+  /// Stores a newly transmitted flit under its sequence number. Sequence
+  /// numbers must be pushed consecutively. Returns false when full (caller
+  /// must stall). `user_tag` is opaque caller metadata carried alongside
+  /// (the fabric uses it for the ground-truth stream index).
+  bool push(std::uint16_t seq, const flit::Flit& encoded,
+            std::uint64_t user_tag = 0);
+
+  /// Releases all entries up to and including `acked_seq` (cumulative ACK
+  /// semantics). Out-of-window acks are ignored (stale duplicates).
+  /// Returns the number of entries released.
+  std::size_t ack_up_to(std::uint16_t acked_seq);
+
+  /// Looks up the stored flit for `seq`; nullptr if not held.
+  [[nodiscard]] const flit::Flit* find(std::uint16_t seq) const;
+
+  struct Entry {
+    std::uint16_t seq;
+    std::uint64_t user_tag;
+    flit::Flit flit;
+  };
+
+  /// Entry lookup including metadata; nullptr if not held.
+  [[nodiscard]] const Entry* find_entry(std::uint16_t seq) const;
+
+  /// Visits every held flit from `from_seq` onward, in sequence order:
+  /// the go-back-N replay set. `visit(entry)` is called per entry.
+  template <typename Visitor>
+  void for_each_from(std::uint16_t from_seq, Visitor&& visit) const {
+    for (const Entry& entry : entries_) {
+      if (seq_distance(from_seq, entry.seq) >= 0) visit(entry);
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> entries_;  ///< ordered oldest -> newest
+};
+
+}  // namespace rxl::link

@@ -1,0 +1,85 @@
+// Shortened Reed-Solomon codes over GF(2^8).
+//
+// The CXL 3.0 flit FEC described in the paper (§2.5) is a 3-way interleaved
+// single-symbol-correcting (SSC) RS code: each sub-block is an RS(255,253)
+// code shortened to 85/85/86 symbols (83/83/84 data + 2 parity). This module
+// provides a general shortened RS(n, k) codec (any number of parity symbols,
+// Berlekamp-Massey + Chien + Forney decoding) with a fast path for the
+// 2-parity SSC configuration.
+//
+// Shortening is what gives the code its partial *detection* power beyond t
+// errors: a decoder "correction" that lands in one of the 255 - n virtual
+// zero-padded positions is provably bogus and is flagged as detected-
+// uncorrectable instead (paper §2.5: ~2/3 of uncorrectable errors detected
+// for n = 85).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rxl::rs {
+
+/// Outcome of a decode attempt. The decoder cannot distinguish a
+/// miscorrection (error pattern beyond t that aliases onto a correctable
+/// one) from a genuine correction; callers that know the ground truth (test
+/// benches, simulators) compare buffers to classify those.
+enum class DecodeStatus : std::uint8_t {
+  kClean,                  ///< Syndromes all zero: no error seen.
+  kCorrected,              ///< In-range correction applied.
+  kDetectedUncorrectable,  ///< Error detected but beyond correction ability.
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  /// Number of symbols the decoder modified (0 unless kCorrected).
+  unsigned corrected_symbols = 0;
+};
+
+/// Systematic shortened Reed-Solomon code over GF(2^8).
+///
+/// Codeword layout (as stored in buffers): data[0..k-1] followed by
+/// parity[0..2t-1]. Internally data[0] is the highest-degree coefficient.
+/// Generator polynomial g(x) = prod_{j=0}^{2t-1} (x - alpha^j).
+class ReedSolomon {
+ public:
+  /// @param data_symbols   k, number of data bytes per codeword.
+  /// @param parity_symbols 2t, number of redundancy bytes (>= 1).
+  /// Requires data_symbols + parity_symbols <= 255.
+  ReedSolomon(std::size_t data_symbols, std::size_t parity_symbols);
+
+  [[nodiscard]] std::size_t data_symbols() const noexcept { return k_; }
+  [[nodiscard]] std::size_t parity_symbols() const noexcept { return r_; }
+  [[nodiscard]] std::size_t codeword_symbols() const noexcept { return k_ + r_; }
+  /// Symbol-correction capability t = floor(2t / 2).
+  [[nodiscard]] unsigned correctable() const noexcept {
+    return static_cast<unsigned>(r_ / 2);
+  }
+
+  /// Computes parity for `data` (size k) into `parity` (size 2t).
+  void encode(std::span<const std::uint8_t> data,
+              std::span<std::uint8_t> parity) const;
+
+  /// Decodes (and corrects in place) a codeword of size k + 2t laid out as
+  /// data || parity.
+  [[nodiscard]] DecodeResult decode(std::span<std::uint8_t> codeword) const;
+
+  /// Computes the 2t syndromes of a codeword; all-zero means "accepted".
+  /// Exposed for tests and for the analytical miscorrection model.
+  void syndromes(std::span<const std::uint8_t> codeword,
+                 std::span<std::uint8_t> out) const;
+
+ private:
+  [[nodiscard]] DecodeResult decode_single(std::span<std::uint8_t> codeword,
+                                           std::uint8_t s0,
+                                           std::uint8_t s1) const;
+  [[nodiscard]] DecodeResult decode_general(
+      std::span<std::uint8_t> codeword,
+      std::span<const std::uint8_t> syndrome) const;
+
+  std::size_t k_;                        ///< data symbols
+  std::size_t r_;                        ///< parity symbols (2t)
+  std::vector<std::uint8_t> generator_;  ///< g(x), ascending degree, monic
+};
+
+}  // namespace rxl::rs

@@ -1,0 +1,58 @@
+// Minimal discrete-event simulation kernel.
+//
+// Picosecond-resolution event heap with deterministic tie-breaking: events
+// scheduled for the same timestamp run in scheduling order (FIFO), so a
+// simulation is a pure function of its seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "rxl/common/types.hpp"
+
+namespace rxl::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time.
+  [[nodiscard]] TimePs now() const noexcept { return now_; }
+
+  /// Schedules `action` to run at now() + delay.
+  void schedule(TimePs delay, Action action);
+
+  /// Schedules `action` at an absolute timestamp (>= now()).
+  void schedule_at(TimePs when, Action action);
+
+  /// Runs events until the queue is empty or `limit` events have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= `until`. Time advances to `until` even
+  /// if the queue drains early. Returns events executed.
+  std::size_t run_until(TimePs until);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Item {
+    TimePs when;
+    std::uint64_t order;  ///< FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.order > b.order;
+    }
+  };
+  TimePs now_ = 0;
+  std::uint64_t next_order_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+};
+
+}  // namespace rxl::sim

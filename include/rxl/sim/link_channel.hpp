@@ -1,0 +1,91 @@
+// Unidirectional link channel: serialisation slots, propagation latency,
+// and physical-layer error injection.
+//
+// A x16 CXL 3.0 link serialises one 256 B flit per 2 ns (paper §7.2). The
+// channel enforces that slot rate (senders queue when the wire is busy),
+// applies an ErrorModel to the transiting image, and delivers to the
+// receiver after the propagation latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/common/types.hpp"
+#include "rxl/flit/flit.hpp"
+#include "rxl/phy/error_model.hpp"
+#include "rxl/sim/event_queue.hpp"
+
+namespace rxl::sim {
+
+/// A flit in flight, with simulation-only ground-truth metadata that no
+/// protocol logic may read (it exists so the simulator can skip FEC/CRC
+/// work on untouched images and so scoreboards can classify failures).
+struct FlitEnvelope {
+  flit::Flit flit;
+  /// True while the image is bit-identical to what the last encoder wrote.
+  /// Any ErrorModel flip clears it; a successful FEC correction back to the
+  /// original image restores it (verified by fingerprint).
+  bool pristine = true;
+  /// Fingerprint of the image as encoded by the last writer (TX endpoint or
+  /// switch re-encode), for pristine restoration after FEC correction.
+  std::uint64_t origin_fingerprint = 0;
+  /// Ground truth for scoreboards: global stream index assigned by the
+  /// sending endpoint's application layer (data flits only).
+  std::uint64_t truth_index = 0;
+  bool has_truth = false;
+  /// Destination routing tag consumed by multi-port switches. Stands in
+  /// for the transaction-layer address lookup of a real CXL switch; the
+  /// protocol logic never reads it.
+  std::uint16_t dest_port = 0;
+};
+
+/// Per-channel occupancy and error statistics.
+struct ChannelStats {
+  std::uint64_t flits_carried = 0;
+  std::uint64_t flits_corrupted = 0;  ///< images touched by the error model
+  std::uint64_t bits_flipped = 0;
+  TimePs busy_time = 0;  ///< total serialisation time consumed
+};
+
+class LinkChannel {
+ public:
+  using DeliverFn = std::function<void(FlitEnvelope&&)>;
+
+  /// @param queue    shared simulation kernel.
+  /// @param errors   error process applied per transiting flit (owned).
+  /// @param rng_seed per-channel deterministic error stream.
+  /// @param slot     serialisation time per flit (default: 2 ns).
+  /// @param latency  propagation delay sender -> receiver.
+  LinkChannel(EventQueue& queue, std::unique_ptr<phy::ErrorModel> errors,
+              std::uint64_t rng_seed, TimePs slot = kFlitSlotPs,
+              TimePs latency = kFlitSlotPs);
+
+  /// Connects the receive side.
+  void set_receiver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  /// Queues `envelope` for transmission. The channel serialises flits
+  /// back-to-back: if the wire is busy the flit starts when it frees up.
+  /// Returns the time at which the flit's slot *ends* (when the sender may
+  /// push the next flit without queueing).
+  TimePs send(FlitEnvelope envelope);
+
+  /// Earliest time a newly offered flit would start serialising.
+  [[nodiscard]] TimePs next_free() const noexcept { return next_free_; }
+
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] TimePs slot() const noexcept { return slot_; }
+
+ private:
+  EventQueue& queue_;
+  std::unique_ptr<phy::ErrorModel> errors_;
+  Xoshiro256 rng_;
+  TimePs slot_;
+  TimePs latency_;
+  TimePs next_free_ = 0;
+  DeliverFn deliver_;
+  ChannelStats stats_;
+};
+
+}  // namespace rxl::sim

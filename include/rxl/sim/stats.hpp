@@ -1,0 +1,60 @@
+// Lightweight statistics helpers used by benches and examples.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rxl::sim {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion — the right interval for
+/// the rare-event rates the benches estimate (never collapses to [0,0] at
+/// zero observed events).
+struct Proportion {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+[[nodiscard]] Proportion wilson_interval(std::uint64_t successes,
+                                         std::uint64_t trials,
+                                         double z = 1.96) noexcept;
+
+/// Fixed-width ASCII table writer so every bench prints uniform,
+/// paper-comparable rows.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Scientific-notation formatting helper ("2.93e-03").
+[[nodiscard]] std::string sci(double value, int digits = 2);
+/// Fixed-point percentage ("0.30%").
+[[nodiscard]] std::string pct(double fraction, int digits = 2);
+
+}  // namespace rxl::sim

@@ -1,0 +1,66 @@
+// Multi-port switching device: the scale-out building block.
+//
+// A PortSwitch is N independent ingress pipelines (FEC decode -> silent
+// drop -> regenerate, exactly as SwitchDevice) feeding a routing stage that
+// forwards each surviving flit to the egress port selected by the
+// envelope's destination. Real CXL switches route on transaction-layer
+// addresses; this model abstracts that lookup as simulation metadata
+// (`FlitEnvelope::dest_port`) — the reliability behaviour under study is
+// unaffected because routing happens after (and independently of) the
+// error handling.
+//
+// Egress contention is modelled by the output LinkChannels themselves:
+// concurrent flits to one port serialise in its slot queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/sim/link_channel.hpp"
+#include "rxl/transport/flit_codec.hpp"
+
+namespace rxl::switchdev {
+
+struct PortSwitchStats {
+  std::uint64_t flits_in = 0;
+  std::uint64_t flits_forwarded = 0;
+  std::uint64_t dropped_fec = 0;
+  std::uint64_t dropped_crc = 0;       ///< CXL mode only
+  std::uint64_t dropped_no_route = 0;  ///< destination port not connected
+  std::uint64_t fec_corrected = 0;
+  std::uint64_t internal_corruptions = 0;
+};
+
+class PortSwitch {
+ public:
+  struct Config {
+    transport::Protocol protocol = transport::Protocol::kRxl;
+    double internal_error_rate = 0.0;
+    TimePs forward_latency = 10'000;  // 10 ns
+    std::size_t ports = 4;
+  };
+
+  PortSwitch(sim::EventQueue& queue, const Config& config,
+             std::uint64_t rng_seed);
+
+  /// Connects egress port `port` to a channel.
+  void set_output(std::size_t port, sim::LinkChannel* output);
+
+  /// Ingress entry point. The ingress port is implicit (stateless
+  /// pipelines are identical); routing uses envelope.dest_port.
+  void on_flit(sim::FlitEnvelope&& envelope);
+
+  [[nodiscard]] const PortSwitchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t ports() const noexcept { return outputs_.size(); }
+
+ private:
+  sim::EventQueue& queue_;
+  Config config_;
+  transport::FlitCodec codec_;
+  Xoshiro256 rng_;
+  std::vector<sim::LinkChannel*> outputs_;
+  PortSwitchStats stats_;
+};
+
+}  // namespace rxl::switchdev

@@ -1,0 +1,169 @@
+// Protocol endpoint: transmit pipeline (sequence numbering, replay buffer,
+// go-back-N retry, ACK piggybacking/coalescing) and receive pipeline
+// (per-hop FEC, CRC/ECRC validation, in-order delivery, NACK generation).
+//
+// One class serves both stacks; the differences are confined to the flit
+// codec and the receive-side sequence check:
+//  * CXL  (paper §4.1): a data flit is sequence-checked ONLY when its FSN
+//    field carries the explicit SeqNum. Ack-carrying data flits are
+//    delivered after a data-integrity check alone, so a silent drop
+//    immediately before such a flit produces an undetected ordering
+//    violation — reproduced faithfully here.
+//  * RXL  (paper §6): every data flit is validated against the receiver's
+//    expected sequence number through the ISN ECRC; drops are detected on
+//    the next arriving flit, whatever its header carries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rxl/link/link_layer.hpp"
+#include "rxl/link/reorder_buffer.hpp"
+#include "rxl/link/retry_buffer.hpp"
+#include "rxl/link/sequence.hpp"
+#include "rxl/sim/event_queue.hpp"
+#include "rxl/sim/link_channel.hpp"
+#include "rxl/transport/config.hpp"
+#include "rxl/transport/flit_codec.hpp"
+
+namespace rxl::transport {
+
+/// Extra endpoint counters beyond link::EndpointStats.
+struct EndpointExtraStats {
+  std::uint64_t unchecked_deliveries = 0;  ///< CXL: ack-carrying data accepted
+  std::uint64_t stale_discards = 0;        ///< replayed flits behind ESeq
+  std::uint64_t retry_timeouts = 0;        ///< TX timeout-driven replays
+  std::uint64_t ack_timeout_flushes = 0;   ///< coalesced ACK sent standalone
+  /// CXL only: the receiver abandoned a flit the transmitter no longer held
+  /// (its replay buffer entry was freed by an ack inflated through unchecked
+  /// deliveries) and skipped forward. The flit is lost — an application-
+  /// visible Fail_order consequence of the §4.1 design.
+  std::uint64_t forward_resyncs = 0;
+};
+
+class Endpoint {
+ public:
+  /// Application delivery: `payload` is the 240 B payload of an accepted
+  /// flit; `envelope` carries simulation ground truth for scoreboards.
+  using DeliverFn =
+      std::function<void(std::span<const std::uint8_t> payload,
+                         const sim::FlitEnvelope& envelope)>;
+  /// Pull-model traffic source: return the next 240 B payload for stream
+  /// position `truth_index`, or nullopt when (currently) out of data.
+  using SourceFn =
+      std::function<std::optional<std::vector<std::uint8_t>>(std::uint64_t)>;
+
+  Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
+           std::string name);
+
+  void set_output(sim::LinkChannel* output) noexcept { output_ = output; }
+  /// Destination routing tag stamped on every outgoing envelope (consumed
+  /// by multi-port switches; stands in for address-based routing).
+  void set_dest_port(std::uint16_t port) noexcept { dest_port_ = port; }
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+  void set_source(SourceFn source) { source_ = std::move(source); }
+
+  /// Starts the transmit loop (idempotent; also used to re-kick after the
+  /// source gains data).
+  void kick();
+
+  /// Receive entry point; wire as the inbound channel's receiver.
+  void on_flit(sim::FlitEnvelope&& envelope);
+
+  [[nodiscard]] const link::EndpointStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const EndpointExtraStats& extra_stats() const noexcept {
+    return extra_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
+
+  /// --- Test instrumentation (not used by protocol logic) ---
+  /// Forces a pending cumulative ACK so the next data flit piggybacks it
+  /// (deterministic reproduction of the paper's Fig. 4/5 traces).
+  void debug_arm_ack(std::uint16_t acknum);
+  [[nodiscard]] std::uint16_t debug_expected_seq() const noexcept {
+    return expected_seq_;
+  }
+  [[nodiscard]] std::uint16_t debug_next_seq() const noexcept {
+    return next_seq_;
+  }
+  [[nodiscard]] std::size_t debug_retry_buffer_size() const noexcept {
+    return retry_buffer_.size();
+  }
+  /// Selective repeat only: reorder-buffer statistics (§5 sizing).
+  [[nodiscard]] const link::ReorderBuffer* reorder_buffer() const noexcept {
+    return reorder_buffer_.has_value() ? &*reorder_buffer_ : nullptr;
+  }
+
+ private:
+  // TX path.
+  bool send_one();
+  void send_data_flit(std::span<const std::uint8_t> payload);
+  void replay_step();
+  void enqueue_control(flit::ReplayCmd command, std::uint16_t fsn);
+  void begin_replay_from(std::uint16_t seq);
+  void arm_retry_timer();
+  void on_retry_timer();
+  void arm_ack_timer();
+  void on_ack_timer();
+
+  // RX path.
+  void rx_data(sim::FlitEnvelope&& envelope);
+  void rx_control(const flit::Flit& flit);
+  void process_acknum(std::uint16_t acknum);
+  void process_nack(std::uint16_t last_good);
+  void send_nack();
+  void arm_nack_timer();
+  void on_nack_timer();
+  void deliver(const sim::FlitEnvelope& envelope);
+  void after_delivery();
+
+  sim::EventQueue& queue_;
+  ProtocolConfig config_;
+  std::string name_;
+  FlitCodec codec_;
+
+  // TX state.
+  sim::LinkChannel* output_ = nullptr;
+  std::uint16_t dest_port_ = 0;
+  std::uint16_t next_seq_ = 0;  ///< sequence number of the next new flit
+  link::RetryBuffer retry_buffer_;
+  std::optional<std::uint16_t> replay_cursor_;
+  std::deque<std::uint16_t> single_resends_;  ///< selective-repeat requests
+  std::deque<flit::Flit> control_queue_;
+  std::uint64_t next_truth_index_ = 0;
+  SourceFn source_;
+  bool kick_scheduled_ = false;
+  bool retry_timer_armed_ = false;
+  TimePs last_ack_progress_ = 0;
+
+  // RX state.
+  std::uint16_t expected_seq_ = 0;   ///< ESeqNum
+  std::uint16_t last_verified_ = kSeqMask;  ///< CXL: last explicit-seq match
+  bool any_verified_ = false;
+  link::AckScheduler ack_scheduler_;
+  bool ack_timer_armed_ = false;
+  bool nack_active_ = false;
+  std::uint32_t nack_key_ = 0;
+  bool nack_timer_armed_ = false;
+  TimePs last_rx_progress_ = 0;
+  /// Ahead-of-window discards within the current resync episode; past a
+  /// threshold the expected flit is declared unrecoverable (see
+  /// forward_resyncs above).
+  unsigned episode_ahead_discards_ = 0;
+  /// Allocated only in kSelectiveRepeat mode (CXL only).
+  std::optional<link::ReorderBuffer> reorder_buffer_;
+  DeliverFn deliver_;
+
+  link::EndpointStats stats_;
+  EndpointExtraStats extra_;
+};
+
+}  // namespace rxl::transport

@@ -1,0 +1,83 @@
+// Flit encode/check pipelines for the two protocol stacks.
+//
+// The codec is where CXL and RXL actually differ (paper Fig. 6/7):
+//  * CXL encodes the CRC over header+payload only; the flit's sequence
+//    number travels explicitly in the FSN header field — unless the field
+//    is carrying an AckNum, in which case the flit has NO sequence
+//    information at all (the §4.1 vulnerability).
+//  * RXL encodes the CRC over header+payload with the 10-bit SeqNum
+//    XOR-folded into the payload's low bits (ISN); the FSN field is free to
+//    carry AckNums (or zeros) at all times, and the receiver's check with
+//    its expected sequence number simultaneously validates data integrity
+//    and stream position.
+// Both stacks then apply the same 3-way interleaved RS FEC over the first
+// 250 bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "rxl/crc/isn_crc.hpp"
+#include "rxl/flit/flit.hpp"
+#include "rxl/rs/flit_fec.hpp"
+#include "rxl/transport/config.hpp"
+
+namespace rxl::transport {
+
+/// Result of an endpoint receive-side check.
+struct RxCheck {
+  bool crc_ok = false;
+  /// For CXL: the explicit sequence number, if the flit carried one.
+  /// For RXL: never set (sequence validity is implied by crc_ok).
+  std::optional<std::uint16_t> explicit_seq;
+};
+
+/// Stateless encoder/checker used by endpoints. One instance per endpoint;
+/// shares the process-wide CRC tables and owns a FlitFec codec.
+class FlitCodec {
+ public:
+  explicit FlitCodec(Protocol protocol);
+
+  [[nodiscard]] Protocol protocol() const noexcept { return protocol_; }
+  [[nodiscard]] const rs::FlitFec& fec() const noexcept { return fec_; }
+
+  /// Builds a fully encoded data flit.
+  /// @param payload 240 B application payload.
+  /// @param seq     this flit's sequence number.
+  /// @param acknum  if set, piggyback this AckNum (ReplayCmd = kAck).
+  ///                CXL then *replaces* the FSN with the AckNum; RXL keeps
+  ///                the SeqNum implicit in the CRC regardless.
+  [[nodiscard]] flit::Flit encode_data(std::span<const std::uint8_t> payload,
+                                       std::uint16_t seq,
+                                       std::optional<std::uint16_t> acknum) const;
+
+  /// Builds a standalone control flit (ACK or NACK; empty payload).
+  [[nodiscard]] flit::Flit encode_control(flit::ReplayCmd command,
+                                          std::uint16_t fsn) const;
+
+  /// Endpoint receive check for a data flit whose FEC stage already passed.
+  /// @param expected_seq the receiver's ESeqNum (used only by RXL's ISN
+  ///                     check; CXL ignores it here and compares the
+  ///                     explicit FSN at the protocol layer).
+  [[nodiscard]] RxCheck check_data(const flit::Flit& flit,
+                                   std::uint16_t expected_seq) const;
+
+  /// Control flits are sequence-less in both stacks: plain CRC check.
+  [[nodiscard]] bool check_control(const flit::Flit& flit) const;
+
+  /// Recomputes the link-layer CRC in place (baseline CXL switches do this
+  /// when regenerating a flit; the call is what *masks* switch-internal
+  /// corruption in CXL).
+  void regenerate_link_crc(flit::Flit& flit) const;
+
+  /// Applies/refreshes the FEC field in place.
+  void apply_fec(flit::Flit& flit) const;
+
+ private:
+  Protocol protocol_;
+  crc::IsnCrc isn_;
+  rs::FlitFec fec_;
+};
+
+}  // namespace rxl::transport

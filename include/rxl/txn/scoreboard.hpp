@@ -1,0 +1,83 @@
+// Application-layer scoreboards: classify protocol failures.
+//
+// The paper defines two failure classes (§7.1): Fail_data — corrupted data
+// forwarded to the application — and Fail_order — data forwarded out of
+// order (gaps, duplicates). The scoreboards sit above the protocol stack
+// and use simulation ground truth (the envelope's stream index plus a
+// TX-side payload hash registry), so they observe exactly what the paper's
+// hypothetical application would.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rxl/sim/link_channel.hpp"
+
+namespace rxl::txn {
+
+/// Flit-stream-level scoreboard (one per direction).
+class StreamScoreboard {
+ public:
+  struct Stats {
+    std::uint64_t delivered = 0;         ///< total deliveries seen
+    std::uint64_t in_order = 0;          ///< unique, in-position deliveries
+    /// Fail_order episodes: a delivery consumed PAST a gap (the application
+    /// ran ahead while predecessors were missing). One count per skip event,
+    /// matching the paper's per-drop ordering-failure accounting (Eq. 7).
+    std::uint64_t order_violations = 0;
+    std::uint64_t duplicates = 0;        ///< Fail_order: re-delivered flits
+    /// Skipped flits that eventually arrived after the stream moved on
+    /// (consumed out of position; the tail of an order-violation episode).
+    std::uint64_t late_deliveries = 0;
+    std::uint64_t data_corruptions = 0;  ///< Fail_data: payload hash mismatch
+    std::uint64_t untracked = 0;         ///< deliveries without ground truth
+    std::uint64_t missing = 0;           ///< computed by finalize()
+  };
+
+  /// TX side: registers the payload content for stream position `index`.
+  void register_sent(std::uint64_t index,
+                     std::span<const std::uint8_t> payload);
+
+  /// RX side: records a delivery (wire payload + envelope ground truth).
+  void on_deliver(std::span<const std::uint8_t> payload,
+                  const sim::FlitEnvelope& envelope);
+
+  /// Computes `missing` (registered positions at or below the highest
+  /// delivered position that never arrived) and returns the totals.
+  [[nodiscard]] Stats finalize() const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<std::uint64_t> sent_hashes_;
+  std::vector<bool> seen_;
+  std::uint64_t expected_next_ = 0;
+  std::uint64_t highest_delivered_ = 0;
+  bool any_delivered_ = false;
+  Stats stats_;
+};
+
+/// Transaction-message-level scoreboard (paper Fig. 5): unpacks the
+/// messages in each delivered payload and checks per-CQID ordering.
+class TxnScoreboard {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t requests_executed = 0;
+    std::uint64_t duplicate_executions = 0;  ///< Fig. 5a failure
+    std::uint64_t out_of_order_data = 0;     ///< Fig. 5b failure (same CQID)
+  };
+
+  /// Feeds one delivered 240 B payload.
+  void on_deliver_payload(std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::unordered_map<std::uint16_t, std::uint32_t> next_tag_;
+  Stats stats_;
+};
+
+}  // namespace rxl::txn

@@ -1,0 +1,42 @@
+#include "rxl/analysis/bandwidth_model.hpp"
+
+namespace rxl::analysis {
+
+double retry_bandwidth_loss(double retry_rate, const BandwidthParams& params) {
+  // Eqs. 11/12/14 kernel:
+  //   BW_loss = 1 - slot / ((1 - r) * slot + r * (slot + retry_latency)).
+  const double slot = static_cast<double>(params.slot);
+  const double with_retry = slot + static_cast<double>(params.retry_latency);
+  const double average = (1.0 - retry_rate) * slot + retry_rate * with_retry;
+  return 1.0 - slot / average;
+}
+
+double bw_loss_cxl_direct(const BandwidthParams& params) {
+  return retry_bandwidth_loss(params.fer_uncorrectable, params);  // Eq. 11
+}
+
+double bw_loss_cxl_switched(const BandwidthParams& params, unsigned levels) {
+  // Eq. 12 (levels = 1 gives the paper's 2 x FER_UC).
+  return retry_bandwidth_loss(
+      static_cast<double>(levels + 1) * params.fer_uncorrectable, params);
+}
+
+double bw_loss_cxl_standalone_ack(const BandwidthParams& params) {
+  return params.p_coalescing;  // Eq. 13
+}
+
+double bw_loss_rxl_switched(const BandwidthParams& params, unsigned levels) {
+  // Eq. 14: identical occupancy to Eq. 12 — ISN adds no flits.
+  return bw_loss_cxl_switched(params, levels);
+}
+
+double reorder_buffer_bits(double link_bits_per_second, double skew_seconds) {
+  return link_bits_per_second * skew_seconds;
+}
+
+double selective_repeat_buffer_bits(double link_bits_per_second,
+                                    double stop_latency_seconds) {
+  return link_bits_per_second * stop_latency_seconds;
+}
+
+}  // namespace rxl::analysis

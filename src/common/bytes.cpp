@@ -1,0 +1,112 @@
+#include "rxl/common/bytes.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+namespace rxl {
+
+void flip_bit(std::span<std::uint8_t> buf, std::size_t bit_index) noexcept {
+  assert(bit_index < buf.size() * 8);
+  buf[bit_index / 8] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+bool get_bit(std::span<const std::uint8_t> buf,
+             std::size_t bit_index) noexcept {
+  assert(bit_index < buf.size() * 8);
+  return (buf[bit_index / 8] >> (bit_index % 8)) & 1u;
+}
+
+std::size_t popcount(std::span<const std::uint8_t> buf) noexcept {
+  std::size_t count = 0;
+  for (const auto byte : buf) count += std::popcount(byte);
+  return count;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) noexcept {
+  assert(a.size() == b.size());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<std::uint8_t>(a[i] ^ b[i])));
+  }
+  return count;
+}
+
+void store_le16(std::span<std::uint8_t> buf, std::size_t offset,
+                std::uint16_t value) noexcept {
+  assert(offset + 2 <= buf.size());
+  buf[offset] = static_cast<std::uint8_t>(value);
+  buf[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void store_le32(std::span<std::uint8_t> buf, std::size_t offset,
+                std::uint32_t value) noexcept {
+  assert(offset + 4 <= buf.size());
+  for (std::size_t i = 0; i < 4; ++i)
+    buf[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void store_le64(std::span<std::uint8_t> buf, std::size_t offset,
+                std::uint64_t value) noexcept {
+  assert(offset + 8 <= buf.size());
+  for (std::size_t i = 0; i < 8; ++i)
+    buf[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint16_t load_le16(std::span<const std::uint8_t> buf,
+                        std::size_t offset) noexcept {
+  assert(offset + 2 <= buf.size());
+  return static_cast<std::uint16_t>(buf[offset] |
+                                    (static_cast<std::uint16_t>(buf[offset + 1])
+                                     << 8));
+}
+
+std::uint32_t load_le32(std::span<const std::uint8_t> buf,
+                        std::size_t offset) noexcept {
+  assert(offset + 4 <= buf.size());
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(buf[offset + i]) << (8 * i);
+  return value;
+}
+
+std::uint64_t load_le64(std::span<const std::uint8_t> buf,
+                        std::size_t offset) noexcept {
+  assert(offset + 8 <= buf.size());
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(buf[offset + i]) << (8 * i);
+  return value;
+}
+
+std::string hexdump(std::span<const std::uint8_t> buf,
+                    std::size_t bytes_per_line) {
+  if (bytes_per_line == 0) bytes_per_line = 16;
+  std::string out;
+  char scratch[24];
+  for (std::size_t line = 0; line < buf.size(); line += bytes_per_line) {
+    std::snprintf(scratch, sizeof scratch, "%08zx  ", line);
+    out += scratch;
+    const std::size_t end = std::min(line + bytes_per_line, buf.size());
+    for (std::size_t i = line; i < line + bytes_per_line; ++i) {
+      if (i < end) {
+        std::snprintf(scratch, sizeof scratch, "%02x ", buf[i]);
+        out += scratch;
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (std::size_t i = line; i < end; ++i) {
+      const char c = static_cast<char>(buf[i]);
+      out += std::isprint(static_cast<unsigned char>(c)) ? c : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace rxl

@@ -1,0 +1,89 @@
+#include "rxl/crc/crc64.hpp"
+
+namespace rxl::crc {
+
+std::uint64_t crc64_bitwise(std::span<const std::uint8_t> data) {
+  std::uint64_t state = kInit64;
+  for (const std::uint8_t byte : data) {
+    state ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      state = (state >> 1) ^ ((state & 1) ? kPoly64Reflected : 0);
+    }
+  }
+  return state ^ kXorOut64;
+}
+
+Crc64::Crc64() {
+  // table_[0]: classic byte table; table_[k]: k extra zero bytes folded in,
+  // for the slice-by-8 kernel.
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint64_t state = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      state = (state >> 1) ^ ((state & 1) ? kPoly64Reflected : 0);
+    }
+    table_[0][b] = state;
+  }
+  for (unsigned slice = 1; slice < 8; ++slice) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint64_t prev = table_[slice - 1][b];
+      table_[slice][b] = table_[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+}
+
+std::uint64_t Crc64::compute(std::span<const std::uint8_t> data) const {
+  return finish(update(begin(), data));
+}
+
+std::uint64_t Crc64::update(std::uint64_t state,
+                            std::span<const std::uint8_t> data) const {
+  for (const std::uint8_t byte : data) state = update_byte(state, byte);
+  return state;
+}
+
+std::uint64_t Crc64::compute_sliced(std::span<const std::uint8_t> data) const {
+  std::uint64_t state = begin();
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < 8; ++j)
+      word |= static_cast<std::uint64_t>(data[i + j]) << (8 * j);
+    word ^= state;
+    state = table_[7][word & 0xFF] ^ table_[6][(word >> 8) & 0xFF] ^
+            table_[5][(word >> 16) & 0xFF] ^ table_[4][(word >> 24) & 0xFF] ^
+            table_[3][(word >> 32) & 0xFF] ^ table_[2][(word >> 40) & 0xFF] ^
+            table_[1][(word >> 48) & 0xFF] ^ table_[0][(word >> 56) & 0xFF];
+  }
+  for (; i < n; ++i) state = update_byte(state, data[i]);
+  return finish(state);
+}
+
+const Crc64& shared_crc64() {
+  static const Crc64 engine;
+  return engine;
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
+  std::uint32_t state = ~0u;
+  for (const std::uint8_t byte : data) {
+    state ^= byte;
+    for (int bit = 0; bit < 8; ++bit)
+      state = (state >> 1) ^ ((state & 1) ? 0xEDB88320u : 0);
+  }
+  return state ^ ~0u;
+}
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  std::uint16_t state = 0xFFFF;
+  for (const std::uint8_t byte : data) {
+    state = static_cast<std::uint16_t>(state ^ (static_cast<std::uint16_t>(byte) << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      state = static_cast<std::uint16_t>((state & 0x8000) ? (state << 1) ^ 0x1021
+                                                          : (state << 1));
+    }
+  }
+  return state;
+}
+
+}  // namespace rxl::crc

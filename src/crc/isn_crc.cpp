@@ -1,0 +1,30 @@
+#include "rxl/crc/isn_crc.hpp"
+
+#include <cassert>
+
+namespace rxl::crc {
+
+std::uint64_t IsnCrc::encode(std::span<const std::uint8_t> message,
+                             std::uint16_t seq) const {
+  assert(fold_offset_ + 2 <= message.size());
+  const std::uint16_t folded = static_cast<std::uint16_t>(seq & kSeqMask);
+  std::uint64_t state = Crc64::begin();
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    std::uint8_t byte = message[i];
+    if (i == fold_offset_) byte ^= static_cast<std::uint8_t>(folded & 0xFF);
+    if (i == fold_offset_ + 1) byte ^= static_cast<std::uint8_t>(folded >> 8);
+    state = engine_->update_byte(state, byte);
+  }
+  return Crc64::finish(state);
+}
+
+std::uint64_t IsnCrc::encode_appended(std::span<const std::uint8_t> message,
+                                      std::uint16_t seq) const {
+  const std::uint16_t folded = static_cast<std::uint16_t>(seq & kSeqMask);
+  std::uint64_t state = engine_->update(Crc64::begin(), message);
+  state = engine_->update_byte(state, static_cast<std::uint8_t>(folded & 0xFF));
+  state = engine_->update_byte(state, static_cast<std::uint8_t>(folded >> 8));
+  return Crc64::finish(state);
+}
+
+}  // namespace rxl::crc

@@ -1,0 +1,24 @@
+#include "rxl/flit/flit.hpp"
+
+#include "rxl/common/bytes.hpp"
+
+namespace rxl::flit {
+
+std::uint64_t Flit::crc_field() const noexcept {
+  return load_le64(bytes(), kCrcOffset);
+}
+
+void Flit::set_crc_field(std::uint64_t crc) noexcept {
+  store_le64(bytes(), kCrcOffset, crc);
+}
+
+std::uint64_t flit_fingerprint(const Flit& flit) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const std::uint8_t byte : flit.bytes()) {
+    hash ^= byte;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace rxl::flit

@@ -1,0 +1,50 @@
+#include "rxl/flit/flit68.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rxl/common/bytes.hpp"
+#include "rxl/crc/crc64.hpp"
+
+namespace rxl::flit {
+
+std::uint16_t Flit68::crc_field() const noexcept {
+  return load_le16(bytes(), kFlit68CrcOffset);
+}
+
+void Flit68::set_crc_field(std::uint16_t crc) noexcept {
+  store_le16(bytes(), kFlit68CrcOffset, crc);
+}
+
+std::uint16_t Flit68Codec::crc_with_seq(const Flit68& flit,
+                                        std::uint16_t seq) const {
+  // Same construction as IsnCrc::encode, over CRC-16/CCITT: fold the 10-bit
+  // sequence number into the low bits of the payload on the fly.
+  std::array<std::uint8_t, kFlit68CrcOffset> scratch;
+  const auto region = flit.crc_protected_region();
+  std::copy(region.begin(), region.end(), scratch.begin());
+  const std::uint16_t folded = static_cast<std::uint16_t>(seq & kSeqMask);
+  scratch[kFlit68PayloadOffset] ^= static_cast<std::uint8_t>(folded & 0xFF);
+  scratch[kFlit68PayloadOffset + 1] ^= static_cast<std::uint8_t>(folded >> 8);
+  return crc::crc16_ccitt(scratch);
+}
+
+Flit68 Flit68Codec::encode_data(std::span<const std::uint8_t> payload,
+                                std::uint16_t seq) const {
+  assert(payload.size() <= kFlit68PayloadBytes);
+  Flit68 out;
+  std::copy(payload.begin(), payload.end(), out.payload().begin());
+  FlitHeader header;
+  header.type = FlitType::kData;
+  header.replay_cmd = ReplayCmd::kSeqNum;
+  header.fsn = 0;  // ISN: the field stays free, as in the 256 B RXL flit
+  out.set_header(header);
+  out.set_crc_field(crc_with_seq(out, seq));
+  return out;
+}
+
+bool Flit68Codec::check(const Flit68& flit, std::uint16_t expected_seq) const {
+  return crc_with_seq(flit, expected_seq) == flit.crc_field();
+}
+
+}  // namespace rxl::flit

@@ -1,0 +1,26 @@
+#include "rxl/flit/header.hpp"
+
+#include <cassert>
+
+namespace rxl::flit {
+
+void pack_header(const FlitHeader& header, std::span<std::uint8_t> buf) noexcept {
+  assert(buf.size() >= kHeaderBytes);
+  const std::uint16_t fsn = header.fsn & kSeqMask;
+  buf[0] = static_cast<std::uint8_t>(fsn & 0xFF);
+  buf[1] = static_cast<std::uint8_t>(((fsn >> 8) & 0x3) |
+                                     ((static_cast<unsigned>(header.replay_cmd) & 0x3) << 2) |
+                                     ((static_cast<unsigned>(header.type) & 0xF) << 4));
+}
+
+FlitHeader unpack_header(std::span<const std::uint8_t> buf) noexcept {
+  assert(buf.size() >= kHeaderBytes);
+  FlitHeader header;
+  header.fsn = static_cast<std::uint16_t>(buf[0] |
+                                          (static_cast<std::uint16_t>(buf[1] & 0x3) << 8));
+  header.replay_cmd = static_cast<ReplayCmd>((buf[1] >> 2) & 0x3);
+  header.type = static_cast<FlitType>((buf[1] >> 4) & 0xF);
+  return header;
+}
+
+}  // namespace rxl::flit

@@ -1,0 +1,40 @@
+#include "rxl/flit/message_pack.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rxl/common/bytes.hpp"
+
+namespace rxl::flit {
+
+std::size_t pack_messages(std::span<const PackedMessage> messages,
+                          std::span<std::uint8_t> payload) noexcept {
+  assert(payload.size() >= kPayloadBytes);
+  std::fill(payload.begin(), payload.end(), std::uint8_t{0});
+  const std::size_t count = std::min(messages.size(), kSlotsPerFlit);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t base = i * kSlotBytes;
+    payload[base] = static_cast<std::uint8_t>(messages[i].kind);
+    store_le16(payload, base + 1, messages[i].cqid);
+    store_le16(payload, base + 3, messages[i].tag);
+  }
+  return count;
+}
+
+std::vector<PackedMessage> unpack_messages(
+    std::span<const std::uint8_t> payload) {
+  assert(payload.size() >= kPayloadBytes);
+  std::vector<PackedMessage> out;
+  for (std::size_t i = 0; i < kSlotsPerFlit; ++i) {
+    const std::size_t base = i * kSlotBytes;
+    if (payload[base] == 0) continue;
+    PackedMessage message;
+    message.kind = static_cast<MessageKind>(payload[base]);
+    message.cqid = load_le16(payload, base + 1);
+    message.tag = load_le16(payload, base + 3);
+    out.push_back(message);
+  }
+  return out;
+}
+
+}  // namespace rxl::flit

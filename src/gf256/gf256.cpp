@@ -1,0 +1,12 @@
+#include "rxl/gf256/gf256.hpp"
+
+namespace rxl::gf256 {
+
+std::uint8_t poly_eval(std::span<const std::uint8_t> poly,
+                       std::uint8_t x) noexcept {
+  std::uint8_t acc = 0;
+  for (std::size_t i = poly.size(); i-- > 0;) acc = add(mul(acc, x), poly[i]);
+  return acc;
+}
+
+}  // namespace rxl::gf256

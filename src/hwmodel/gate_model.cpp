@@ -1,0 +1,52 @@
+#include "rxl/hwmodel/gate_model.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "rxl/crc/crc_matrix.hpp"
+
+namespace rxl::hwmodel {
+namespace {
+
+std::size_t tree_depth(std::size_t fanin) {
+  if (fanin <= 1) return 0;
+  return static_cast<std::size_t>(std::bit_width(fanin - 1));
+}
+
+}  // namespace
+
+XorNetworkCost crc_network_cost(std::size_t message_bits) {
+  const crc::CrcMatrix matrix(message_bits);
+  XorNetworkCost cost;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const std::size_t fanin = matrix.fanin(bit);
+    if (fanin > 1) cost.xor_gates += fanin - 1;
+    cost.logic_depth = std::max(cost.logic_depth, tree_depth(fanin));
+    cost.max_fanin = std::max(cost.max_fanin, fanin);
+  }
+  return cost;
+}
+
+CrcDatapathCost baseline_datapath_cost(std::size_t message_bits,
+                                       unsigned seq_bits) {
+  CrcDatapathCost cost;
+  cost.crc_network = crc_network_cost(message_bits);
+  // Receiver-side SeqNum == ESeqNum comparator: seq_bits XNOR gates plus an
+  // AND-reduction tree.
+  cost.comparator_gates = seq_bits + (seq_bits - 1);
+  cost.comparator_depth = 1 + tree_depth(seq_bits);
+  return cost;
+}
+
+CrcDatapathCost isn_datapath_cost(std::size_t message_bits,
+                                  unsigned seq_bits) {
+  CrcDatapathCost cost;
+  cost.crc_network = crc_network_cost(message_bits);
+  // The SeqNum is XORed into seq_bits message inputs before they enter the
+  // CRC forest: seq_bits parallel XOR gates, +1 logic level (paper §7.3).
+  cost.isn_fold_gates = seq_bits;
+  cost.isn_extra_depth = 1;
+  return cost;
+}
+
+}  // namespace rxl::hwmodel

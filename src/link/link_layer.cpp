@@ -1,0 +1,7 @@
+// link_layer.hpp is header-only; this translation unit exists so the link
+// module owns a compiled object (and to host any future out-of-line logic).
+#include "rxl/link/link_layer.hpp"
+
+namespace rxl::link {
+// Intentionally empty.
+}  // namespace rxl::link

@@ -1,0 +1,7 @@
+// sequence.hpp is fully constexpr/header-only; see tests/test_sequence.cpp
+// for its behavioural specification.
+#include "rxl/link/sequence.hpp"
+
+namespace rxl::link {
+// Intentionally empty.
+}  // namespace rxl::link

@@ -1,0 +1,45 @@
+#include "rxl/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rxl::sim {
+
+void EventQueue::schedule(TimePs delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void EventQueue::schedule_at(TimePs when, Action action) {
+  assert(when >= now_);
+  heap_.push(Item{when, next_order_++, std::move(action)});
+}
+
+std::size_t EventQueue::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && executed < limit) {
+    // priority_queue exposes only a const top(); moving out right before
+    // pop() is the standard pattern and safe because pop() never reads the
+    // moved-from action.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.when;
+    item.action();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t EventQueue::run_until(TimePs until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.when;
+    item.action();
+    ++executed;
+  }
+  now_ = until;
+  return executed;
+}
+
+}  // namespace rxl::sim

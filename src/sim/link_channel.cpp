@@ -1,0 +1,41 @@
+#include "rxl/sim/link_channel.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rxl::sim {
+
+LinkChannel::LinkChannel(EventQueue& queue,
+                         std::unique_ptr<phy::ErrorModel> errors,
+                         std::uint64_t rng_seed, TimePs slot, TimePs latency)
+    : queue_(queue),
+      errors_(std::move(errors)),
+      rng_(rng_seed),
+      slot_(slot),
+      latency_(latency) {
+  assert(errors_ != nullptr);
+}
+
+TimePs LinkChannel::send(FlitEnvelope envelope) {
+  const TimePs start = std::max(queue_.now(), next_free_);
+  const TimePs end = start + slot_;
+  next_free_ = end;
+  stats_.flits_carried += 1;
+  stats_.busy_time += slot_;
+
+  const std::size_t flipped = errors_->corrupt(envelope.flit.bytes(), rng_);
+  if (flipped > 0) {
+    envelope.pristine = false;
+    stats_.flits_corrupted += 1;
+    stats_.bits_flipped += flipped;
+  }
+
+  // Delivery happens once the last bit has propagated.
+  queue_.schedule_at(end + latency_,
+                     [this, moved = std::move(envelope)]() mutable {
+                       if (deliver_) deliver_(std::move(moved));
+                     });
+  return end;
+}
+
+}  // namespace rxl::sim

@@ -1,0 +1,6 @@
+// config.hpp is header-only; translation unit anchors the module.
+#include "rxl/transport/config.hpp"
+
+namespace rxl::transport {
+// Intentionally empty.
+}  // namespace rxl::transport

@@ -1,0 +1,488 @@
+#include "rxl/transport/endpoint.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace rxl::transport {
+namespace {
+
+constexpr std::uint16_t seq_prev(std::uint16_t seq) noexcept {
+  return link::seq_add(seq, kSeqMask);  // -1 mod 1024
+}
+
+
+
+}  // namespace
+
+Endpoint::Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
+                   std::string name)
+    : queue_(queue),
+      config_(config),
+      name_(std::move(name)),
+      codec_(config.protocol),
+      retry_buffer_(config.retry_buffer_capacity),
+      last_verified_(kSeqMask),  // "-1": nothing verified yet
+      ack_scheduler_(config.coalesce_factor) {
+  if (config_.retry_mode == RetryMode::kSelectiveRepeat) {
+    // §5: selective repeat needs explicit sequence numbers to place
+    // out-of-order flits; ISN's pass/fail check cannot. This is the
+    // trade-off RXL accepts by design.
+    if (config_.protocol == Protocol::kRxl)
+      throw std::invalid_argument(
+          "RXL cannot use selective repeat: ISN carries no explicit "
+          "sequence numbers to reorder by (paper §5)");
+    reorder_buffer_.emplace(config_.reorder_buffer_capacity);
+  }
+}
+
+// --------------------------------------------------------------------------
+// TX path
+// --------------------------------------------------------------------------
+
+void Endpoint::kick() {
+  if (output_ == nullptr || kick_scheduled_) return;
+  const TimePs free_at = output_->next_free();
+  if (free_at > queue_.now()) {
+    kick_scheduled_ = true;
+    queue_.schedule_at(free_at, [this] {
+      kick_scheduled_ = false;
+      kick();
+    });
+    return;
+  }
+  if (send_one()) {
+    kick_scheduled_ = true;
+    queue_.schedule_at(output_->next_free(), [this] {
+      kick_scheduled_ = false;
+      kick();
+    });
+  }
+  // Otherwise: idle. ACK arrivals, NACKs and new source data re-kick us.
+}
+
+bool Endpoint::send_one() {
+  // Priority 1: control flits (NACKs must reach the peer promptly).
+  if (!control_queue_.empty()) {
+    sim::FlitEnvelope envelope;
+    envelope.flit = control_queue_.front();
+    control_queue_.pop_front();
+    envelope.pristine = true;
+    envelope.origin_fingerprint = flit::flit_fingerprint(envelope.flit);
+    envelope.dest_port = dest_port_;
+    stats_.control_flits_sent += 1;
+    output_->send(std::move(envelope));
+    return true;
+  }
+  // Priority 2: selective-repeat single-flit resends.
+  while (!single_resends_.empty()) {
+    const std::uint16_t seq = single_resends_.front();
+    const link::RetryBuffer::Entry* entry = retry_buffer_.find_entry(seq);
+    if (entry == nullptr) {
+      single_resends_.pop_front();  // already acked/freed; skip
+      continue;
+    }
+    sim::FlitEnvelope envelope;
+    envelope.flit = entry->flit;
+    envelope.pristine = true;
+    envelope.origin_fingerprint = flit::flit_fingerprint(entry->flit);
+    envelope.truth_index = entry->user_tag;
+    envelope.has_truth = true;
+    envelope.dest_port = dest_port_;
+    single_resends_.pop_front();
+    stats_.data_flits_retransmitted += 1;
+    output_->send(std::move(envelope));
+    return true;
+  }
+  // Priority 3: go-back-N replay.
+  if (replay_cursor_.has_value()) {
+    const link::RetryBuffer::Entry* entry =
+        retry_buffer_.find_entry(*replay_cursor_);
+    if (entry == nullptr) {
+      replay_cursor_.reset();
+    } else {
+      sim::FlitEnvelope envelope;
+      envelope.flit = entry->flit;
+      envelope.pristine = true;
+      envelope.origin_fingerprint = flit::flit_fingerprint(entry->flit);
+      envelope.truth_index = entry->user_tag;
+      envelope.has_truth = true;
+      envelope.dest_port = dest_port_;
+      const std::uint16_t next = link::seq_next(entry->seq);
+      replay_cursor_ =
+          retry_buffer_.find(next) ? std::optional<std::uint16_t>(next)
+                                   : std::nullopt;
+      stats_.data_flits_retransmitted += 1;
+      output_->send(std::move(envelope));
+      return true;
+    }
+  }
+  // Priority 4: new application data, window permitting.
+  if (source_) {
+    if (retry_buffer_.full()) {
+      stats_.tx_stalls += 1;
+      return false;
+    }
+    if (auto payload = source_(next_truth_index_)) {
+      send_data_flit(*payload);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Endpoint::send_data_flit(std::span<const std::uint8_t> payload) {
+  const std::uint16_t seq = next_seq_;
+  // The canonical (replayable) image always carries the explicit/implicit
+  // SeqNum with no piggybacked ACK; the wire image on first transmission
+  // may substitute an AckNum into the FSN field.
+  const flit::Flit canonical = codec_.encode_data(payload, seq, std::nullopt);
+
+  std::optional<std::uint16_t> acknum;
+  if (config_.ack_policy == link::AckPolicy::kPiggyback &&
+      ack_scheduler_.pending()) {
+    acknum = ack_scheduler_.consume();
+  }
+
+  sim::FlitEnvelope envelope;
+  envelope.flit =
+      acknum.has_value() ? codec_.encode_data(payload, seq, acknum) : canonical;
+  envelope.pristine = true;
+  envelope.origin_fingerprint = flit::flit_fingerprint(envelope.flit);
+  envelope.truth_index = next_truth_index_;
+  envelope.has_truth = true;
+  envelope.dest_port = dest_port_;
+  if (acknum.has_value()) stats_.acks_piggybacked += 1;
+
+  const bool pushed = retry_buffer_.push(seq, canonical, next_truth_index_);
+  assert(pushed);
+  (void)pushed;
+  if (retry_buffer_.size() == 1) last_ack_progress_ = queue_.now();
+  arm_retry_timer();
+
+  next_seq_ = link::seq_next(next_seq_);
+  next_truth_index_ += 1;
+  stats_.data_flits_sent += 1;
+  output_->send(std::move(envelope));
+}
+
+void Endpoint::enqueue_control(flit::ReplayCmd command, std::uint16_t fsn) {
+  control_queue_.push_back(codec_.encode_control(command, fsn));
+}
+
+void Endpoint::begin_replay_from(std::uint16_t seq) {
+  if (retry_buffer_.find(seq) != nullptr) {
+    replay_cursor_ = seq;
+  } else if (auto oldest = retry_buffer_.oldest_seq()) {
+    // The requested resume point was already released (a premature ACK —
+    // possible in baseline CXL when unchecked deliveries inflate the
+    // receiver's AckNum). Best effort: replay what we still hold.
+    replay_cursor_ = *oldest;
+  } else {
+    replay_cursor_.reset();
+  }
+}
+
+void Endpoint::arm_retry_timer() {
+  if (retry_timer_armed_ || config_.retry_timeout == 0) return;
+  retry_timer_armed_ = true;
+  queue_.schedule(config_.retry_timeout, [this] { on_retry_timer(); });
+}
+
+void Endpoint::on_retry_timer() {
+  retry_timer_armed_ = false;
+  if (retry_buffer_.empty()) return;
+  if (queue_.now() - last_ack_progress_ >= config_.retry_timeout) {
+    // No ACK progress for a full timeout: assume a lost ACK/NACK and replay
+    // everything outstanding.
+    extra_.retry_timeouts += 1;
+    stats_.retry_rounds += 1;
+    last_ack_progress_ = queue_.now();
+    if (auto oldest = retry_buffer_.oldest_seq()) begin_replay_from(*oldest);
+    kick();
+  }
+  arm_retry_timer();
+}
+
+void Endpoint::arm_ack_timer() {
+  if (ack_timer_armed_ || config_.ack_timeout == 0) return;
+  ack_timer_armed_ = true;
+  queue_.schedule(config_.ack_timeout, [this] { on_ack_timer(); });
+}
+
+void Endpoint::on_ack_timer() {
+  ack_timer_armed_ = false;
+  if (!ack_scheduler_.pending()) return;
+  // No reverse data flit picked the ACK up in time: flush it standalone so
+  // the peer's replay buffer does not stall.
+  if (auto acknum = ack_scheduler_.consume()) {
+    extra_.ack_timeout_flushes += 1;
+    enqueue_control(flit::ReplayCmd::kAck, *acknum);
+    kick();
+  }
+}
+
+// --------------------------------------------------------------------------
+// RX path
+// --------------------------------------------------------------------------
+
+void Endpoint::on_flit(sim::FlitEnvelope&& envelope) {
+  stats_.flits_received += 1;
+
+  // Link-layer FEC at the endpoint's own ingress. Pristine images are valid
+  // codewords by construction, so decode is skipped without changing
+  // behaviour.
+  if (!envelope.pristine) {
+    const rs::FecDecodeResult fec = codec_.fec().decode(envelope.flit.bytes());
+    if (!fec.accepted()) {
+      stats_.flits_discarded_fec += 1;
+      send_nack();
+      return;
+    }
+    if (fec.status == rs::DecodeStatus::kCorrected) {
+      stats_.fec_corrected_flits += 1;
+      envelope.pristine =
+          flit::flit_fingerprint(envelope.flit) == envelope.origin_fingerprint;
+    }
+  }
+
+  const flit::FlitHeader header = envelope.flit.header();
+  if (header.type == flit::FlitType::kData) {
+    rx_data(std::move(envelope));
+  } else {
+    // Control, idle, or a data flit whose Type bits were corrupted: the
+    // CRC decides (rx_control NACKs on mismatch so no gap goes
+    // unsignalled).
+    rx_control(envelope.flit);
+  }
+}
+
+void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
+  const RxCheck check = codec_.check_data(envelope.flit, expected_seq_);
+  if (!check.crc_ok) {
+    // RXL: corruption OR sequence mismatch (drop/stale) — same response.
+    // CXL: corruption only.
+    stats_.flits_discarded_crc += 1;
+    send_nack();
+    return;
+  }
+
+  if (codec_.protocol() == Protocol::kRxl) {
+    // ISN check passed: payload intact AND sequence aligned. The header is
+    // covered by the ECRC, so a piggybacked AckNum is trustworthy.
+    const flit::FlitHeader header = envelope.flit.header();
+    if (header.replay_cmd == flit::ReplayCmd::kAck) process_acknum(header.fsn);
+    nack_active_ = false;
+    expected_seq_ = link::seq_next(expected_seq_);
+    deliver(envelope);
+    after_delivery();
+    return;
+  }
+
+  // ----- Baseline CXL -----
+  if (check.explicit_seq.has_value()) {
+    const std::uint16_t seq = *check.explicit_seq;
+    if (seq == expected_seq_) {
+      last_verified_ = seq;
+      nack_active_ = false;
+      episode_ahead_discards_ = 0;
+      expected_seq_ = link::seq_next(expected_seq_);
+      deliver(envelope);
+      after_delivery();
+      // Selective repeat: the gap just filled; drain every consecutive
+      // buffered successor in order.
+      if (reorder_buffer_.has_value()) {
+        while (auto buffered = reorder_buffer_->take(expected_seq_)) {
+          last_verified_ = expected_seq_;
+          expected_seq_ = link::seq_next(expected_seq_);
+          deliver(*buffered);
+          after_delivery();
+        }
+        // Buffered flits beyond ANOTHER gap remain: request the next
+        // missing flit right away instead of waiting for a fresh arrival.
+        if (reorder_buffer_->size() > 0) send_nack();
+      }
+    } else if (link::seq_distance(expected_seq_, seq) < 0) {
+      // Behind the window: a stale replay of something already delivered.
+      extra_.stale_discards += 1;
+    } else {
+      // Ahead of the window: a gap — some flit was silently dropped.
+      if (reorder_buffer_.has_value()) {
+        // Selective repeat: hold the arrival and request only the missing
+        // flit (ReplayCmd = kNackSingle on the wire; same NACK machinery).
+        reorder_buffer_->insert(seq, std::move(envelope));
+        send_nack();
+        return;
+      }
+      stats_.flits_discarded_seq += 1;
+      // Threshold: if the transmitter still held our expected flit, its
+      // go-back-N window could put at most `capacity` flits ahead of it on
+      // the wire before stalling (and its retry timeout would then replay
+      // from the expected flit). Seeing more ahead-flits than that proves
+      // the entry is gone (freed by an inflated AckNum).
+      const unsigned threshold =
+          static_cast<unsigned>(config_.retry_buffer_capacity) + 32;
+      if (nack_active_ && ++episode_ahead_discards_ > threshold) {
+        // The transmitter has been replaying past our expected flit for a
+        // whole window: it no longer holds it (its replay-buffer entry was
+        // freed by an AckNum inflated through unchecked deliveries). Real
+        // hardware would escalate to link recovery; we skip forward and
+        // count the loss so the stream — and the failure statistics —
+        // keep flowing.
+        extra_.forward_resyncs += 1;
+        last_verified_ = seq;
+        nack_active_ = false;
+        episode_ahead_discards_ = 0;
+        expected_seq_ = link::seq_next(seq);
+        deliver(envelope);
+        after_delivery();
+        return;
+      }
+      send_nack();
+    }
+    return;
+  }
+
+  // Ack-carrying data flit: NO sequence information on the wire (§4.1).
+  process_acknum(envelope.flit.header().fsn);
+  if (nack_active_) {
+    // The receiver KNOWS it is waiting for a replay (it detected the error
+    // itself), so it discards everything until the expected flit returns —
+    // standard link-layer replay behaviour. The §4.1 hole below only opens
+    // when the loss was SILENT (a switch drop the endpoint never saw).
+    extra_.stale_discards += 1;
+    return;
+  }
+  // No error has been *observed*: the receiver forwards the flit and
+  // advances ESeqNum even if a silently dropped flit should have come
+  // first. This is the ordering vulnerability the paper quantifies.
+  extra_.unchecked_deliveries += 1;
+  expected_seq_ = link::seq_next(expected_seq_);
+  deliver(envelope);
+  after_delivery();
+}
+
+void Endpoint::rx_control(const flit::Flit& flit) {
+  if (!codec_.check_control(flit)) {
+    // A CRC-failed flit of ANY apparent type triggers a retry request: the
+    // header (and with it the Type field) is untrustworthy, so this may
+    // have been a data flit whose type bits were corrupted. Without the
+    // NACK the gap would be unsignalled and an ack-carrying successor
+    // could mask it (§4.1).
+    stats_.flits_discarded_crc += 1;
+    send_nack();
+    return;
+  }
+  const flit::FlitHeader header = flit.header();
+  switch (header.replay_cmd) {
+    case flit::ReplayCmd::kAck:
+      process_acknum(header.fsn);
+      break;
+    case flit::ReplayCmd::kNackGoBackN:
+    case flit::ReplayCmd::kNackSingle:
+      process_nack(header.fsn);
+      break;
+    default:
+      break;
+  }
+}
+
+void Endpoint::process_acknum(std::uint16_t acknum) {
+  const std::size_t released = retry_buffer_.ack_up_to(acknum);
+  if (released > 0) {
+    last_ack_progress_ = queue_.now();
+    // If an in-progress replay now points at released entries, realign it.
+    if (replay_cursor_.has_value() &&
+        retry_buffer_.find(*replay_cursor_) == nullptr) {
+      if (auto oldest = retry_buffer_.oldest_seq()) {
+        replay_cursor_ = *oldest;
+      } else {
+        replay_cursor_.reset();
+      }
+    }
+    kick();  // window space may have opened
+  }
+}
+
+void Endpoint::process_nack(std::uint16_t last_good) {
+  stats_.retry_rounds += 1;
+  // A NACK acknowledges everything up to last_good and requests replay of
+  // last_good + 1 (and, for go-back-N, everything after it).
+  retry_buffer_.ack_up_to(last_good);
+  last_ack_progress_ = queue_.now();
+  if (config_.retry_mode == RetryMode::kSelectiveRepeat) {
+    single_resends_.push_back(link::seq_next(last_good));
+  } else {
+    begin_replay_from(link::seq_next(last_good));
+  }
+  kick();
+}
+
+void Endpoint::send_nack() {
+  const std::uint16_t last_good = (codec_.protocol() == Protocol::kCxl)
+                                      ? last_verified_
+                                      : seq_prev(expected_seq_);
+  if (codec_.protocol() == Protocol::kCxl) {
+    // Resynchronise ESeqNum to the resume point: replayed flits will carry
+    // explicit SeqNums starting at last_verified_ + 1.
+    expected_seq_ = link::seq_next(last_good);
+  }
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(last_good) << kSeqBits) | expected_seq_;
+  if (nack_active_ && key == nack_key_) return;  // one NACK per episode
+  if (!nack_active_ || key != nack_key_) episode_ahead_discards_ = 0;
+  nack_active_ = true;
+  nack_key_ = key;
+  last_rx_progress_ = queue_.now();
+  stats_.nacks_sent += 1;
+  enqueue_control(flit::ReplayCmd::kNackGoBackN, last_good);
+  arm_nack_timer();
+  kick();
+}
+
+void Endpoint::arm_nack_timer() {
+  if (nack_timer_armed_ || config_.nack_retransmit_timeout == 0) return;
+  nack_timer_armed_ = true;
+  queue_.schedule(config_.nack_retransmit_timeout, [this] { on_nack_timer(); });
+}
+
+void Endpoint::on_nack_timer() {
+  nack_timer_armed_ = false;
+  if (!nack_active_) return;
+  if (queue_.now() - last_rx_progress_ >= config_.nack_retransmit_timeout) {
+    // Still waiting and nothing accepted since the NACK went out: the NACK
+    // or the head of the replay was lost in transit. Re-issue the replay
+    // request — this is why real link layers run a replay-request timer.
+    const std::uint16_t last_good =
+        static_cast<std::uint16_t>((nack_key_ >> kSeqBits) & kSeqMask);
+    stats_.nacks_sent += 1;
+    enqueue_control(flit::ReplayCmd::kNackGoBackN, last_good);
+    last_rx_progress_ = queue_.now();
+    kick();
+  }
+  arm_nack_timer();
+}
+
+void Endpoint::deliver(const sim::FlitEnvelope& envelope) {
+  stats_.flits_delivered += 1;
+  last_rx_progress_ = queue_.now();
+  if (deliver_) deliver_(envelope.flit.payload(), envelope);
+}
+
+void Endpoint::after_delivery() {
+  ack_scheduler_.on_delivered(seq_prev(expected_seq_));
+  if (config_.ack_policy == link::AckPolicy::kStandalone) {
+    if (auto acknum = ack_scheduler_.consume()) {
+      enqueue_control(flit::ReplayCmd::kAck, *acknum);
+      kick();
+    }
+  } else if (ack_scheduler_.pending()) {
+    arm_ack_timer();
+  }
+}
+
+void Endpoint::debug_arm_ack(std::uint16_t acknum) {
+  ack_scheduler_.force(acknum);
+}
+
+}  // namespace rxl::transport

@@ -1,0 +1,135 @@
+#include "rxl/txn/coherence.hpp"
+
+#include <stdexcept>
+
+namespace rxl::txn {
+
+CoherenceModel::CoherenceModel(const Config& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.agents == 0 || config_.lines == 0)
+    throw std::invalid_argument("CoherenceModel: agents and lines must be > 0");
+  state_.assign(config_.agents,
+                std::vector<MesiState>(config_.lines, MesiState::kInvalid));
+  next_tag_.assign(config_.agents, 0);
+}
+
+void CoherenceModel::emit(CoherenceTransaction& txn, flit::MessageKind kind) {
+  flit::PackedMessage message;
+  message.kind = kind;
+  message.cqid = txn.agent;
+  message.tag = next_tag_[txn.agent]++;
+  txn.messages.push_back(message);
+  counters_.messages += 1;
+  if (kind == flit::MessageKind::kData) counters_.data_transfers += 1;
+}
+
+CoherenceTransaction CoherenceModel::step() {
+  const auto agent = static_cast<std::uint16_t>(rng_.bounded(config_.agents));
+  const auto line = static_cast<std::uint32_t>(rng_.bounded(config_.lines));
+  const bool is_write = rng_.bernoulli(config_.write_fraction);
+  return access(agent, line, is_write);
+}
+
+CoherenceTransaction CoherenceModel::access(std::uint16_t agent,
+                                            std::uint32_t line,
+                                            bool is_write) {
+  CoherenceTransaction txn;
+  txn.agent = agent;
+  txn.line = line;
+  txn.is_write = is_write;
+  MesiState& mine = state_[agent][line];
+
+  if (is_write) {
+    counters_.writes += 1;
+    switch (mine) {
+      case MesiState::kModified:
+        txn.hit = true;
+        break;
+      case MesiState::kExclusive:
+        // Silent upgrade: no bus traffic in MESI.
+        mine = MesiState::kModified;
+        txn.hit = true;
+        break;
+      case MesiState::kShared:
+      case MesiState::kInvalid: {
+        // RdOwn / upgrade through the directory: request + response, data
+        // if we did not hold the line, plus invalidations of all sharers.
+        emit(txn, flit::MessageKind::kRequest);
+        for (unsigned other = 0; other < config_.agents; ++other) {
+          if (other == agent) continue;
+          MesiState& theirs = state_[other][line];
+          if (theirs == MesiState::kModified) {
+            counters_.writebacks += 1;
+            emit(txn, flit::MessageKind::kData);  // dirty data to host
+          }
+          if (theirs != MesiState::kInvalid) {
+            counters_.invalidations += 1;
+            theirs = MesiState::kInvalid;
+          }
+        }
+        emit(txn, flit::MessageKind::kResponse);
+        if (mine == MesiState::kInvalid)
+          emit(txn, flit::MessageKind::kData);  // line fill
+        mine = MesiState::kModified;
+        break;
+      }
+    }
+  } else {
+    counters_.reads += 1;
+    if (mine != MesiState::kInvalid) {
+      txn.hit = true;
+    } else {
+      // RdShared through the directory.
+      emit(txn, flit::MessageKind::kRequest);
+      bool others_hold = false;
+      for (unsigned other = 0; other < config_.agents; ++other) {
+        if (other == agent) continue;
+        MesiState& theirs = state_[other][line];
+        if (theirs == MesiState::kModified) {
+          counters_.writebacks += 1;
+          emit(txn, flit::MessageKind::kData);  // dirty data to host
+          theirs = MesiState::kShared;
+          others_hold = true;
+        } else if (theirs == MesiState::kExclusive) {
+          theirs = MesiState::kShared;
+          others_hold = true;
+        } else if (theirs == MesiState::kShared) {
+          others_hold = true;
+        }
+      }
+      emit(txn, flit::MessageKind::kResponse);
+      emit(txn, flit::MessageKind::kData);  // line fill
+      mine = others_hold ? MesiState::kShared : MesiState::kExclusive;
+    }
+  }
+
+  if (txn.hit) {
+    counters_.hits += 1;
+  } else {
+    counters_.misses += 1;
+  }
+  return txn;
+}
+
+bool CoherenceModel::invariants_hold() const {
+  for (std::uint32_t line = 0; line < config_.lines; ++line) {
+    unsigned modified = 0;
+    unsigned exclusive = 0;
+    unsigned shared = 0;
+    for (unsigned agent = 0; agent < config_.agents; ++agent) {
+      switch (state_[agent][line]) {
+        case MesiState::kModified: ++modified; break;
+        case MesiState::kExclusive: ++exclusive; break;
+        case MesiState::kShared: ++shared; break;
+        case MesiState::kInvalid: break;
+      }
+    }
+    // Single writer: at most one M or E holder, and never alongside
+    // sharers.
+    if (modified + exclusive > 1) return false;
+    if ((modified + exclusive) == 1 && shared > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rxl::txn

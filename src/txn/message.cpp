@@ -1,0 +1,43 @@
+#include "rxl/txn/message.hpp"
+
+#include "rxl/common/types.hpp"
+
+namespace rxl::txn {
+
+MessageTrafficGen::MessageTrafficGen(const Config& config)
+    : config_(config), rng_(config.seed), next_tag_(config.cqids, 0) {
+  if (config_.cqids == 0) {
+    config_.cqids = 1;
+    next_tag_.assign(1, 0);
+  }
+}
+
+std::vector<flit::PackedMessage> MessageTrafficGen::next(std::size_t count) {
+  std::vector<flit::PackedMessage> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flit::PackedMessage message;
+    message.cqid = static_cast<std::uint16_t>(rng_.bounded(config_.cqids));
+    const double kind_roll = rng_.uniform();
+    if (kind_roll < config_.request_fraction) {
+      message.kind = flit::MessageKind::kRequest;
+    } else if (kind_roll < config_.request_fraction + config_.data_fraction) {
+      message.kind = flit::MessageKind::kData;
+    } else {
+      message.kind = flit::MessageKind::kResponse;
+    }
+    message.tag = next_tag_[message.cqid]++;
+    out.push_back(message);
+    ++generated_;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> MessageTrafficGen::next_payload() {
+  const std::vector<flit::PackedMessage> batch = next(flit::kSlotsPerFlit);
+  std::vector<std::uint8_t> payload(kPayloadBytes, 0);
+  flit::pack_messages(batch, payload);
+  return payload;
+}
+
+}  // namespace rxl::txn

@@ -1,0 +1,113 @@
+#include "rxl/txn/scoreboard.hpp"
+
+#include "rxl/flit/message_pack.hpp"
+
+namespace rxl::txn {
+namespace {
+
+std::uint64_t payload_hash(std::span<const std::uint8_t> payload) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const std::uint8_t byte : payload) {
+    hash ^= byte;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void StreamScoreboard::register_sent(std::uint64_t index,
+                                     std::span<const std::uint8_t> payload) {
+  if (index >= sent_hashes_.size()) sent_hashes_.resize(index + 1, 0);
+  sent_hashes_[index] = payload_hash(payload);
+}
+
+void StreamScoreboard::on_deliver(std::span<const std::uint8_t> payload,
+                                  const sim::FlitEnvelope& envelope) {
+  stats_.delivered += 1;
+  if (!envelope.has_truth) {
+    stats_.untracked += 1;
+    return;
+  }
+  const std::uint64_t index = envelope.truth_index;
+  if (index >= seen_.size()) seen_.resize(index + 1, false);
+  if (!any_delivered_ || index > highest_delivered_) highest_delivered_ = index;
+  any_delivered_ = true;
+
+  if (index < sent_hashes_.size() &&
+      payload_hash(payload) != sent_hashes_[index]) {
+    stats_.data_corruptions += 1;  // Fail_data: escaped all checks
+  }
+
+  if (seen_[index]) {
+    stats_.duplicates += 1;  // Fail_order: the application executes it twice
+    return;
+  }
+  seen_[index] = true;
+
+  if (index == expected_next_) {
+    stats_.in_order += 1;
+    expected_next_ += 1;
+    // Skip over anything already delivered out of order.
+    while (expected_next_ < seen_.size() && seen_[expected_next_]) {
+      expected_next_ += 1;
+    }
+  } else if (index > expected_next_) {
+    // Delivered past a gap: the application consumed data whose
+    // predecessors have not arrived (Fail_order). The stream moves on —
+    // one violation per skip event.
+    stats_.order_violations += 1;
+    expected_next_ = index + 1;
+    while (expected_next_ < seen_.size() && seen_[expected_next_]) {
+      expected_next_ += 1;
+    }
+  } else {
+    // Below expected but not previously seen: a skipped flit finally
+    // arriving after the stream moved past it.
+    stats_.late_deliveries += 1;
+  }
+}
+
+StreamScoreboard::Stats StreamScoreboard::finalize() const {
+  Stats out = stats_;
+  if (any_delivered_) {
+    std::uint64_t missing = 0;
+    for (std::uint64_t i = 0; i <= highest_delivered_ && i < seen_.size(); ++i) {
+      if (!seen_[i]) ++missing;
+    }
+    out.missing = missing;
+  }
+  return out;
+}
+
+void TxnScoreboard::on_deliver_payload(
+    std::span<const std::uint8_t> payload) {
+  for (const flit::PackedMessage& message : flit::unpack_messages(payload)) {
+    stats_.messages += 1;
+    auto [it, inserted] = next_tag_.try_emplace(message.cqid, 0);
+    const std::uint32_t expected = it->second;
+    switch (message.kind) {
+      case flit::MessageKind::kRequest:
+        stats_.requests_executed += 1;
+        if (message.tag < expected) {
+          stats_.duplicate_executions += 1;  // Fig. 5a: request re-run
+        } else {
+          it->second = message.tag + 1u;
+        }
+        break;
+      case flit::MessageKind::kData:
+        if (message.tag != expected) {
+          stats_.out_of_order_data += 1;  // Fig. 5b: same-CQID reorder/dup
+          if (message.tag > expected) it->second = message.tag + 1u;
+        } else {
+          it->second = expected + 1u;
+        }
+        break;
+      default:
+        if (message.tag >= expected) it->second = message.tag + 1u;
+        break;
+    }
+  }
+}
+
+}  // namespace rxl::txn

@@ -1,0 +1,82 @@
+#include "rxl/common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace rxl {
+namespace {
+
+TEST(Bytes, FlipBitTogglesAndRestores) {
+  std::array<std::uint8_t, 4> buf{};
+  flip_bit(buf, 0);
+  EXPECT_EQ(buf[0], 0x01);
+  flip_bit(buf, 7);
+  EXPECT_EQ(buf[0], 0x81);
+  flip_bit(buf, 8);
+  EXPECT_EQ(buf[1], 0x01);
+  flip_bit(buf, 0);
+  flip_bit(buf, 7);
+  flip_bit(buf, 8);
+  EXPECT_EQ(buf, (std::array<std::uint8_t, 4>{}));
+}
+
+TEST(Bytes, GetBitMatchesFlip) {
+  std::array<std::uint8_t, 8> buf{};
+  for (std::size_t bit : {0u, 5u, 13u, 31u, 63u}) {
+    EXPECT_FALSE(get_bit(buf, bit));
+    flip_bit(buf, bit);
+    EXPECT_TRUE(get_bit(buf, bit));
+  }
+}
+
+TEST(Bytes, PopcountAccumulates) {
+  std::array<std::uint8_t, 3> buf{0xFF, 0x0F, 0x01};
+  EXPECT_EQ(popcount(buf), 13u);
+}
+
+TEST(Bytes, HammingDistance) {
+  std::array<std::uint8_t, 2> a{0x00, 0xFF};
+  std::array<std::uint8_t, 2> b{0x01, 0xFE};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+}
+
+TEST(Bytes, Le16RoundTrip) {
+  std::array<std::uint8_t, 4> buf{};
+  store_le16(buf, 1, 0xBEEF);
+  EXPECT_EQ(buf[1], 0xEF);
+  EXPECT_EQ(buf[2], 0xBE);
+  EXPECT_EQ(load_le16(buf, 1), 0xBEEF);
+}
+
+TEST(Bytes, Le32RoundTrip) {
+  std::array<std::uint8_t, 8> buf{};
+  store_le32(buf, 2, 0xDEADBEEFu);
+  EXPECT_EQ(load_le32(buf, 2), 0xDEADBEEFu);
+}
+
+TEST(Bytes, Le64RoundTrip) {
+  std::array<std::uint8_t, 16> buf{};
+  store_le64(buf, 3, 0x0123456789ABCDEFull);
+  EXPECT_EQ(load_le64(buf, 3), 0x0123456789ABCDEFull);
+  EXPECT_EQ(buf[3], 0xEF);
+  EXPECT_EQ(buf[10], 0x01);
+}
+
+TEST(Bytes, HexdumpShape) {
+  std::vector<std::uint8_t> buf(20, 0x41);  // 'A'
+  const std::string dump = hexdump(buf, 16);
+  EXPECT_NE(dump.find("41 41"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAAAAAAAAAAAAAA|"), std::string::npos);
+  // Two lines for 20 bytes at 16/line.
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(Bytes, HexdumpEmpty) {
+  EXPECT_TRUE(hexdump({}).empty());
+}
+
+}  // namespace
+}  // namespace rxl

@@ -1,0 +1,110 @@
+// MESI coherence model: state transitions and the SWMR invariant.
+#include "rxl/txn/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rxl::txn {
+namespace {
+
+CoherenceModel::Config small_config() {
+  CoherenceModel::Config config;
+  config.agents = 3;
+  config.lines = 4;
+  config.seed = 1;
+  return config;
+}
+
+TEST(Coherence, ColdReadGoesExclusive) {
+  CoherenceModel model(small_config());
+  const auto txn = model.access(0, 0, /*is_write=*/false);
+  EXPECT_FALSE(txn.hit);
+  EXPECT_EQ(model.state(0, 0), MesiState::kExclusive);
+  // Request + response + data fill.
+  EXPECT_EQ(txn.messages.size(), 3u);
+}
+
+TEST(Coherence, SecondReaderDemotesToShared) {
+  CoherenceModel model(small_config());
+  model.access(0, 0, false);
+  model.access(1, 0, false);
+  EXPECT_EQ(model.state(0, 0), MesiState::kShared);
+  EXPECT_EQ(model.state(1, 0), MesiState::kShared);
+}
+
+TEST(Coherence, WriteInvalidatesSharers) {
+  CoherenceModel model(small_config());
+  model.access(0, 0, false);
+  model.access(1, 0, false);
+  const auto txn = model.access(2, 0, true);
+  EXPECT_EQ(model.state(2, 0), MesiState::kModified);
+  EXPECT_EQ(model.state(0, 0), MesiState::kInvalid);
+  EXPECT_EQ(model.state(1, 0), MesiState::kInvalid);
+  EXPECT_FALSE(txn.hit);
+  EXPECT_EQ(model.counters().invalidations, 2u);
+}
+
+TEST(Coherence, SilentExclusiveToModifiedUpgrade) {
+  CoherenceModel model(small_config());
+  model.access(0, 1, false);  // E
+  const auto before = model.counters().messages;
+  const auto txn = model.access(0, 1, true);  // E -> M, no traffic
+  EXPECT_TRUE(txn.hit);
+  EXPECT_EQ(model.state(0, 1), MesiState::kModified);
+  EXPECT_EQ(model.counters().messages, before);
+}
+
+TEST(Coherence, ReadOfModifiedLineForcesWriteback) {
+  CoherenceModel model(small_config());
+  model.access(0, 2, true);  // M at agent 0
+  const auto txn = model.access(1, 2, false);
+  EXPECT_EQ(model.counters().writebacks, 1u);
+  EXPECT_EQ(model.state(0, 2), MesiState::kShared);
+  EXPECT_EQ(model.state(1, 2), MesiState::kShared);
+  // Request, dirty writeback data, response, fill data.
+  EXPECT_EQ(txn.messages.size(), 4u);
+}
+
+TEST(Coherence, WriteHitOnModifiedIsSilent) {
+  CoherenceModel model(small_config());
+  model.access(0, 3, true);
+  const auto before = model.counters().messages;
+  EXPECT_TRUE(model.access(0, 3, true).hit);
+  EXPECT_EQ(model.counters().messages, before);
+}
+
+TEST(Coherence, MessagesCarryPerAgentCqids) {
+  CoherenceModel model(small_config());
+  const auto txn = model.access(2, 0, false);
+  for (const auto& message : txn.messages) EXPECT_EQ(message.cqid, 2u);
+}
+
+TEST(Coherence, RejectsEmptyConfig) {
+  CoherenceModel::Config config;
+  config.agents = 0;
+  EXPECT_THROW(CoherenceModel model(config), std::invalid_argument);
+}
+
+/// Property sweep: the SWMR invariant must hold after any random workload.
+class CoherenceRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoherenceRandom, InvariantsHoldUnderRandomTraffic) {
+  CoherenceModel::Config config;
+  config.agents = 6;
+  config.lines = 32;
+  config.write_fraction = 0.4;
+  config.seed = GetParam();
+  CoherenceModel model(config);
+  for (int step = 0; step < 5000; ++step) {
+    model.step();
+    if (step % 500 == 0) ASSERT_TRUE(model.invariants_hold()) << "step " << step;
+  }
+  EXPECT_TRUE(model.invariants_hold());
+  EXPECT_EQ(model.counters().reads + model.counters().writes, 5000u);
+  EXPECT_GT(model.counters().messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceRandom,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+}  // namespace
+}  // namespace rxl::txn

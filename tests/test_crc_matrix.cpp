@@ -1,0 +1,75 @@
+#include "rxl/crc/crc_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/common/types.hpp"
+#include "rxl/crc/crc64.hpp"
+
+namespace rxl::crc {
+namespace {
+
+TEST(CrcMatrix, ApplyMatchesEngine) {
+  constexpr std::size_t kBits = 64 * 8;
+  const CrcMatrix matrix(kBits);
+  const Crc64& engine = shared_crc64();
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> message(kBits / 8);
+    for (auto& byte : message) byte = static_cast<std::uint8_t>(rng.bounded(256));
+    EXPECT_EQ(matrix.apply(message), engine.compute(message));
+  }
+}
+
+TEST(CrcMatrix, ColumnIsFlipDelta) {
+  constexpr std::size_t kBits = 32 * 8;
+  const CrcMatrix matrix(kBits);
+  const Crc64& engine = shared_crc64();
+  std::vector<std::uint8_t> zero(kBits / 8, 0);
+  const std::uint64_t base = engine.compute(zero);
+  for (std::size_t bit : {0u, 7u, 100u, 255u}) {
+    auto flipped = zero;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_EQ(matrix.column(bit), engine.compute(flipped) ^ base);
+  }
+}
+
+TEST(CrcMatrix, AllColumnsNonzero) {
+  // Every message bit must influence the CRC (otherwise single-bit errors
+  // at that position would be undetectable).
+  const CrcMatrix matrix(242 * 8);
+  for (std::size_t i = 0; i < matrix.message_bits(); ++i)
+    EXPECT_NE(matrix.column(i), 0u) << "bit " << i;
+}
+
+TEST(CrcMatrix, InjectiveOnSequenceBits) {
+  // The 10 bit positions ISN folds the SeqNum into must map injectively —
+  // this is the algebraic soundness of ISN.
+  const CrcMatrix matrix(242 * 8);
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < kSeqBits; ++i)
+    positions.push_back(kHeaderBytes * 8 + i);
+  EXPECT_TRUE(matrix.injective_on(positions));
+}
+
+TEST(CrcMatrix, DependentSetRejected) {
+  const CrcMatrix matrix(64);
+  // {a, b, a} is linearly dependent whatever a, b are.
+  const std::size_t positions[] = {3, 9, 3};
+  EXPECT_FALSE(matrix.injective_on(positions));
+}
+
+TEST(CrcMatrix, FaninCountsConsistent) {
+  const CrcMatrix matrix(128);
+  std::size_t total_from_fanin = 0;
+  for (unsigned bit = 0; bit < 64; ++bit) total_from_fanin += matrix.fanin(bit);
+  std::size_t total_from_columns = 0;
+  for (std::size_t i = 0; i < matrix.message_bits(); ++i)
+    total_from_columns += static_cast<std::size_t>(std::popcount(matrix.column(i)));
+  EXPECT_EQ(total_from_fanin, total_from_columns);
+}
+
+}  // namespace
+}  // namespace rxl::crc

@@ -1,0 +1,86 @@
+#include "rxl/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rxl::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue queue;
+  std::vector<TimePs> times;
+  queue.schedule(5, [&] {
+    times.push_back(queue.now());
+    queue.schedule(5, [&] { times.push_back(queue.now()); });
+  });
+  queue.run();
+  EXPECT_EQ(times, (std::vector<TimePs>{5, 10}));
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesTime) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(10, [&] { ++fired; });
+  queue.schedule(50, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(20), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 20u);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_until(100);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 100u);
+}
+
+TEST(EventQueue, RunLimitBounds) {
+  EventQueue queue;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) queue.schedule(i, [&] { ++fired; });
+  EXPECT_EQ(queue.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(queue.pending(), 6u);
+}
+
+TEST(EventQueue, ScheduleAtAbsolute) {
+  EventQueue queue;
+  TimePs seen = 0;
+  queue.schedule_at(42, [&] { seen = queue.now(); });
+  queue.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, SelfPerpetuatingChainWithRunUntil) {
+  EventQueue queue;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    queue.schedule(10, tick);
+  };
+  queue.schedule(0, tick);
+  queue.run_until(95);
+  EXPECT_EQ(ticks, 10);  // t = 0,10,...,90
+}
+
+}  // namespace
+}  // namespace rxl::sim

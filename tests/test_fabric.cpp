@@ -1,0 +1,157 @@
+// Full-fabric integration: statistical validation of the paper's claims at
+// inflated error rates (the benches sweep these; tests pin the qualitative
+// results).
+#include "rxl/transport/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rxl::transport {
+namespace {
+
+FabricConfig base_config(Protocol protocol) {
+  FabricConfig config;
+  config.protocol.protocol = protocol;
+  config.protocol.coalesce_factor = 10;  // p_coalescing = 0.1
+  config.switch_levels = 1;
+  config.seed = 2024;
+  config.downstream_flits = 30'000;
+  config.upstream_flits = 30'000;
+  config.horizon = 200'000'000;  // 200 us: 100k slots
+  return config;
+}
+
+TEST(Fabric, CleanFabricDeliversEverything) {
+  for (const Protocol protocol : {Protocol::kCxl, Protocol::kRxl}) {
+    FabricConfig config = base_config(protocol);
+    config.downstream_flits = 5'000;
+    config.upstream_flits = 5'000;
+    const FabricReport report = run_fabric(config);
+    EXPECT_EQ(report.downstream.scoreboard.in_order, 5'000u);
+    EXPECT_EQ(report.downstream.scoreboard.order_violations, 0u);
+    EXPECT_EQ(report.upstream.scoreboard.in_order, 5'000u);
+    EXPECT_EQ(report.downstream.scoreboard.data_corruptions, 0u);
+  }
+}
+
+TEST(Fabric, SwitchedCxlSuffersOrderingFailuresUnderDrops) {
+  // Paper §7.1.2: drops + ACK piggybacking => undetected ordering
+  // violations. Inflated burst rate makes them frequent enough to count.
+  FabricConfig config = base_config(Protocol::kCxl);
+  config.burst_injection_rate = 1e-2;  // ~6.7e-3 drops/flit after FEC
+  const FabricReport report = run_fabric(config);
+  EXPECT_GT(report.downstream.switch_dropped_fec, 50u);
+  EXPECT_GT(report.downstream.scoreboard.order_violations +
+                report.downstream.scoreboard.duplicates,
+            0u);
+}
+
+TEST(Fabric, SwitchedRxlHasZeroOrderingFailuresUnderSameDrops) {
+  FabricConfig config = base_config(Protocol::kRxl);
+  config.burst_injection_rate = 5e-3;
+  const FabricReport report = run_fabric(config);
+  EXPECT_GT(report.downstream.switch_dropped_fec, 50u);  // same physics
+  EXPECT_EQ(report.downstream.scoreboard.order_violations, 0u);
+  EXPECT_EQ(report.downstream.scoreboard.duplicates, 0u);
+  EXPECT_EQ(report.downstream.scoreboard.data_corruptions, 0u);
+  // And nothing is lost: drops are retried to completion.
+  EXPECT_EQ(report.downstream.scoreboard.missing, 0u);
+}
+
+TEST(Fabric, SwitchInternalCorruptionEscapesCxlButNotRxl) {
+  // §6.3: CXL switches regenerate the link CRC over internally corrupted
+  // data; RXL's end-to-end ECRC catches it.
+  FabricConfig cxl = base_config(Protocol::kCxl);
+  cxl.switch_internal_error_rate = 1e-3;
+  cxl.downstream_flits = 20'000;
+  cxl.upstream_flits = 20'000;
+  const FabricReport cxl_report = run_fabric(cxl);
+  EXPECT_GT(cxl_report.downstream.switch_internal_corruptions, 0u);
+  EXPECT_GT(cxl_report.downstream.scoreboard.data_corruptions, 0u);
+
+  FabricConfig rxl = base_config(Protocol::kRxl);
+  rxl.switch_internal_error_rate = 1e-3;
+  rxl.downstream_flits = 20'000;
+  rxl.upstream_flits = 20'000;
+  const FabricReport rxl_report = run_fabric(rxl);
+  EXPECT_GT(rxl_report.downstream.switch_internal_corruptions, 0u);
+  EXPECT_EQ(rxl_report.downstream.scoreboard.data_corruptions, 0u);
+  EXPECT_EQ(rxl_report.downstream.scoreboard.missing, 0u);
+}
+
+TEST(Fabric, MoreSwitchLevelsMeanMoreCxlFailures) {
+  // The Fig. 8 shape: CXL ordering failures grow with switching depth.
+  // The drop rate must stay low enough that the receiver is rarely in a
+  // (self-aware) resync episode — the silent-drop hole only opens in the
+  // clean state — so use a modest rate over a long run.
+  auto failures_at = [](unsigned levels) {
+    FabricConfig config = base_config(Protocol::kCxl);
+    config.switch_levels = levels;
+    config.burst_injection_rate = 1e-3;
+    config.downstream_flits = 150'000;
+    config.upstream_flits = 150'000;
+    config.horizon = 700'000'000;  // 700 us = 350k slots
+    const FabricReport report = run_fabric(config);
+    return report.downstream.scoreboard.order_violations +
+           report.downstream.scoreboard.duplicates +
+           report.upstream.scoreboard.order_violations +
+           report.upstream.scoreboard.duplicates;
+  };
+  const std::uint64_t shallow = failures_at(1);
+  const std::uint64_t deep = failures_at(4);
+  EXPECT_GT(shallow, 0u);
+  EXPECT_GT(deep, shallow);
+}
+
+TEST(Fabric, BerDrivenErrorsAreMostlyCorrected) {
+  // At BER 1e-5, nearly every corrupted flit carries a single-bit error the
+  // FEC fixes; goodput should stay near 1 with zero failures.
+  FabricConfig config = base_config(Protocol::kRxl);
+  config.ber = 1e-5;
+  config.downstream_flits = 20'000;
+  config.upstream_flits = 20'000;
+  const FabricReport report = run_fabric(config);
+  EXPECT_GT(report.downstream.channel_flits_corrupted, 100u);
+  EXPECT_EQ(report.downstream.scoreboard.missing, 0u);
+  const double corrected_share =
+      static_cast<double>(report.downstream.switch_fec_corrected +
+                          report.downstream.rx.fec_corrected_flits) /
+      static_cast<double>(report.downstream.channel_flits_corrupted);
+  EXPECT_GT(corrected_share, 0.95);
+}
+
+TEST(Fabric, ReportsChannelCapacity) {
+  FabricConfig config = base_config(Protocol::kRxl);
+  const FabricReport report = run_fabric(config);
+  EXPECT_EQ(report.slots, config.horizon / config.slot);
+  EXPECT_GT(report.downstream.goodput, 0.0);
+  EXPECT_LE(report.downstream.goodput, 1.0);
+}
+
+TEST(Fabric, DeterministicAcrossRuns) {
+  FabricConfig config = base_config(Protocol::kCxl);
+  config.burst_injection_rate = 2e-3;
+  config.downstream_flits = 10'000;
+  config.upstream_flits = 10'000;
+  const FabricReport first = run_fabric(config);
+  const FabricReport second = run_fabric(config);
+  EXPECT_EQ(first.downstream.scoreboard.in_order,
+            second.downstream.scoreboard.in_order);
+  EXPECT_EQ(first.downstream.scoreboard.order_violations,
+            second.downstream.scoreboard.order_violations);
+  EXPECT_EQ(first.downstream.switch_dropped_fec,
+            second.downstream.switch_dropped_fec);
+}
+
+TEST(Fabric, SummaryMentionsKeyCounters) {
+  FabricConfig config = base_config(Protocol::kRxl);
+  config.downstream_flits = 1'000;
+  config.upstream_flits = 1'000;
+  config.horizon = 50'000'000;
+  const FabricReport report = run_fabric(config);
+  const std::string text = summarize(report);
+  EXPECT_NE(text.find("in-order"), std::string::npos);
+  EXPECT_NE(text.find("downstream"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rxl::transport

@@ -1,0 +1,156 @@
+// FlitCodec: the protocol-defining encode/check pipelines (paper Fig. 6/7).
+#include "rxl/transport/flit_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rxl/common/rng.hpp"
+
+namespace rxl::transport {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> payload(kPayloadBytes);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.bounded(256));
+  return payload;
+}
+
+TEST(FlitCodec, CxlCarriesExplicitSeqInHeader) {
+  FlitCodec codec(Protocol::kCxl);
+  const flit::Flit encoded =
+      codec.encode_data(random_payload(1), 345, std::nullopt);
+  const flit::FlitHeader header = encoded.header();
+  EXPECT_EQ(header.replay_cmd, flit::ReplayCmd::kSeqNum);
+  EXPECT_EQ(header.fsn, 345);
+  EXPECT_EQ(header.type, flit::FlitType::kData);
+}
+
+TEST(FlitCodec, RxlZeroFillsFsnWhenNotPiggybacking) {
+  // §6.2: the FSN field is zero in non-piggybacking RXL flits — the
+  // sequence number travels only inside the CRC.
+  FlitCodec codec(Protocol::kRxl);
+  const flit::Flit encoded =
+      codec.encode_data(random_payload(2), 345, std::nullopt);
+  EXPECT_EQ(encoded.header().fsn, 0);
+  EXPECT_EQ(encoded.header().replay_cmd, flit::ReplayCmd::kSeqNum);
+}
+
+TEST(FlitCodec, PiggybackReplacesFsnWithAcknum) {
+  for (const Protocol protocol : {Protocol::kCxl, Protocol::kRxl}) {
+    FlitCodec codec(protocol);
+    const flit::Flit encoded = codec.encode_data(random_payload(3), 345, 700);
+    EXPECT_EQ(encoded.header().replay_cmd, flit::ReplayCmd::kAck);
+    EXPECT_EQ(encoded.header().fsn, 700);
+  }
+}
+
+TEST(FlitCodec, EncodedFlitPassesOwnFecAndCrc) {
+  for (const Protocol protocol : {Protocol::kCxl, Protocol::kRxl}) {
+    FlitCodec codec(protocol);
+    flit::Flit encoded = codec.encode_data(random_payload(4), 10, std::nullopt);
+    EXPECT_TRUE(codec.fec().decode(encoded.bytes()).accepted());
+    EXPECT_TRUE(codec.check_data(encoded, 10).crc_ok);
+  }
+}
+
+TEST(FlitCodec, CxlCheckIgnoresExpectedSeq) {
+  // Baseline CXL's CRC has no sequence component: the check passes with any
+  // expected_seq; sequence enforcement is the caller's job via explicit_seq.
+  FlitCodec codec(Protocol::kCxl);
+  const flit::Flit encoded =
+      codec.encode_data(random_payload(5), 11, std::nullopt);
+  const RxCheck at_match = codec.check_data(encoded, 11);
+  const RxCheck at_mismatch = codec.check_data(encoded, 999);
+  EXPECT_TRUE(at_match.crc_ok);
+  EXPECT_TRUE(at_mismatch.crc_ok);
+  ASSERT_TRUE(at_mismatch.explicit_seq.has_value());
+  EXPECT_EQ(*at_mismatch.explicit_seq, 11);
+}
+
+TEST(FlitCodec, CxlAckCarryingFlitHasNoSequenceInformation) {
+  // The §4.1 hole, at codec level: explicit_seq is absent exactly when the
+  // flit piggybacks an AckNum.
+  FlitCodec codec(Protocol::kCxl);
+  const flit::Flit encoded = codec.encode_data(random_payload(6), 12, 500);
+  const RxCheck check = codec.check_data(encoded, 9999);
+  EXPECT_TRUE(check.crc_ok);
+  EXPECT_FALSE(check.explicit_seq.has_value());
+}
+
+TEST(FlitCodec, RxlCheckEnforcesSequence) {
+  FlitCodec codec(Protocol::kRxl);
+  const flit::Flit encoded =
+      codec.encode_data(random_payload(7), 13, std::nullopt);
+  EXPECT_TRUE(codec.check_data(encoded, 13).crc_ok);
+  EXPECT_FALSE(codec.check_data(encoded, 12).crc_ok);
+  EXPECT_FALSE(codec.check_data(encoded, 14).crc_ok);
+}
+
+TEST(FlitCodec, RxlAckCarryingFlitStillSequenceChecked) {
+  // RXL's fix: piggybacking costs nothing — the ISN check still works.
+  FlitCodec codec(Protocol::kRxl);
+  const flit::Flit encoded = codec.encode_data(random_payload(8), 14, 500);
+  EXPECT_TRUE(codec.check_data(encoded, 14).crc_ok);
+  EXPECT_FALSE(codec.check_data(encoded, 15).crc_ok);
+}
+
+TEST(FlitCodec, ControlFlitsRoundTrip) {
+  for (const Protocol protocol : {Protocol::kCxl, Protocol::kRxl}) {
+    FlitCodec codec(protocol);
+    const flit::Flit nack =
+        codec.encode_control(flit::ReplayCmd::kNackGoBackN, 77);
+    EXPECT_TRUE(codec.check_control(nack));
+    EXPECT_EQ(nack.header().type, flit::FlitType::kControl);
+    EXPECT_EQ(nack.header().fsn, 77);
+    flit::Flit corrupted = nack;
+    corrupted.payload()[0] ^= 1;
+    EXPECT_FALSE(codec.check_control(corrupted));
+  }
+}
+
+TEST(FlitCodec, RegenerateLinkCrcMasksModification) {
+  // The CXL-switch behaviour that lets internal corruption escape (§6.3).
+  FlitCodec codec(Protocol::kCxl);
+  flit::Flit encoded = codec.encode_data(random_payload(9), 15, std::nullopt);
+  encoded.payload()[100] ^= 0xFF;
+  EXPECT_FALSE(codec.check_data(encoded, 15).crc_ok);
+  codec.regenerate_link_crc(encoded);
+  EXPECT_TRUE(codec.check_data(encoded, 15).crc_ok);  // corruption re-signed
+}
+
+TEST(FlitCodec, RxlSequenceSurvivesHeaderAckRewrite) {
+  // Two RXL encodings of the same payload+seq with different acknums have
+  // different CRCs (header is covered), but both check against the same
+  // expected_seq — sequence and acknum are orthogonal.
+  FlitCodec codec(Protocol::kRxl);
+  const auto payload = random_payload(10);
+  const flit::Flit with_ack = codec.encode_data(payload, 16, 100);
+  const flit::Flit without_ack = codec.encode_data(payload, 16, std::nullopt);
+  EXPECT_NE(with_ack.crc_field(), without_ack.crc_field());
+  EXPECT_TRUE(codec.check_data(with_ack, 16).crc_ok);
+  EXPECT_TRUE(codec.check_data(without_ack, 16).crc_ok);
+}
+
+class FlitCodecSeqSweep : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(FlitCodecSeqSweep, RxlRejectsExactlyTheWrongSequences) {
+  FlitCodec codec(Protocol::kRxl);
+  const std::uint16_t seq = GetParam();
+  const flit::Flit encoded =
+      codec.encode_data(random_payload(20 + seq), seq, std::nullopt);
+  for (const int delta : {-2, -1, 0, 1, 2, 511, 512}) {
+    const std::uint16_t expected =
+        static_cast<std::uint16_t>((seq + delta + kSeqModulus) & kSeqMask);
+    EXPECT_EQ(codec.check_data(encoded, expected).crc_ok, expected == seq)
+        << "seq=" << seq << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seqs, FlitCodecSeqSweep,
+                         ::testing::Values<std::uint16_t>(0, 1, 2, 511, 512,
+                                                          1022, 1023));
+
+}  // namespace
+}  // namespace rxl::transport

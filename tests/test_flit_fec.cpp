@@ -1,0 +1,152 @@
+// Flit-level 3-way interleaved FEC (paper §2.5 behaviour).
+#include "rxl/rs/flit_fec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/common/types.hpp"
+
+namespace rxl::rs {
+namespace {
+
+std::array<std::uint8_t, kFlitBytes> random_flit(const FlitFec& fec,
+                                                 Xoshiro256& rng) {
+  std::array<std::uint8_t, kFlitBytes> flit{};
+  for (std::size_t i = 0; i < kFecProtectedBytes; ++i)
+    flit[i] = static_cast<std::uint8_t>(rng.bounded(256));
+  fec.encode(flit);
+  return flit;
+}
+
+TEST(FlitFec, CleanRoundTrip) {
+  FlitFec fec;
+  Xoshiro256 rng(1);
+  auto flit = random_flit(fec, rng);
+  const auto result = fec.decode(flit);
+  EXPECT_EQ(result.status, DecodeStatus::kClean);
+  EXPECT_TRUE(result.accepted());
+  EXPECT_EQ(result.corrected_symbols, 0u);
+}
+
+TEST(FlitFec, SubBlockGeometryMatchesPaper) {
+  // 250 protected bytes -> 84/83/83 data symbols (paper: 83/83/84 plus 2
+  // parity each => 86/85/85-symbol codewords).
+  EXPECT_EQ(FlitFec::sub_block_data_bytes(0), 84u);
+  EXPECT_EQ(FlitFec::sub_block_data_bytes(1), 83u);
+  EXPECT_EQ(FlitFec::sub_block_data_bytes(2), 83u);
+  EXPECT_EQ(FlitFec::sub_block_data_bytes(0) +
+                FlitFec::sub_block_data_bytes(1) +
+                FlitFec::sub_block_data_bytes(2),
+            kFecProtectedBytes);
+}
+
+/// Any single corrupted byte must be corrected, wherever it lands —
+/// including inside the FEC parity field itself.
+class FlitFecSingleByte : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FlitFecSingleByte, Corrects) {
+  FlitFec fec;
+  Xoshiro256 rng(7);
+  auto flit = random_flit(fec, rng);
+  const auto original = flit;
+  flit[GetParam()] ^= 0x3C;
+  const auto result = fec.decode(flit);
+  EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(result.corrected_symbols, 1u);
+  EXPECT_EQ(flit, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, FlitFecSingleByte,
+                         ::testing::Values(0u, 1u, 2u, 100u, 249u, 250u, 255u));
+
+/// Bursts up to 3 symbols are always corrected (one error per lane).
+class FlitFecBurst : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FlitFecBurst, CorrectsUpToThreeSymbolBursts) {
+  FlitFec fec;
+  Xoshiro256 rng(13 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    auto flit = random_flit(fec, rng);
+    const auto original = flit;
+    const std::size_t burst = GetParam();
+    const std::size_t start = rng.bounded(kFecProtectedBytes - burst);
+    for (std::size_t i = 0; i < burst; ++i)
+      flit[start + i] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    const auto result = fec.decode(flit);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(result.corrected_symbols, burst);
+    EXPECT_EQ(flit, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BurstLengths, FlitFecBurst,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(FlitFec, EqualPairSameLaneDetectedDeterministically) {
+  // The TargetedDoubleError pattern: same magnitude at offsets p, p+3.
+  FlitFec fec;
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto flit = random_flit(fec, rng);
+    const std::size_t p = rng.bounded(kFecProtectedBytes - 3);
+    flit[p] ^= 0x5A;
+    flit[p + 3] ^= 0x5A;
+    const auto result = fec.decode(flit);
+    EXPECT_EQ(result.status, DecodeStatus::kDetectedUncorrectable);
+    EXPECT_FALSE(result.accepted());
+  }
+}
+
+TEST(FlitFec, FourSymbolBurstDetectionNearTwoThirds) {
+  // Paper §2.5: a 4-symbol burst puts 2 errors in one lane; detection
+  // probability ~ 2/3.
+  FlitFec fec;
+  Xoshiro256 rng(31);
+  int detected = 0;
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto flit = random_flit(fec, rng);
+    const std::size_t start = rng.bounded(kFecProtectedBytes - 4);
+    for (std::size_t i = 0; i < 4; ++i)
+      flit[start + i] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    if (!fec.decode(flit).accepted()) ++detected;
+  }
+  EXPECT_NEAR(static_cast<double>(detected) / kTrials, 2.0 / 3.0, 0.04);
+}
+
+TEST(FlitFec, SixSymbolBurstDetectionNear26Of27) {
+  FlitFec fec;
+  Xoshiro256 rng(37);
+  int detected = 0;
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto flit = random_flit(fec, rng);
+    const std::size_t start = rng.bounded(kFecProtectedBytes - 6);
+    for (std::size_t i = 0; i < 6; ++i)
+      flit[start + i] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    if (!fec.decode(flit).accepted()) ++detected;
+  }
+  EXPECT_NEAR(static_cast<double>(detected) / kTrials, 26.0 / 27.0, 0.02);
+}
+
+TEST(FlitFec, ValidPositionFractionNearOneThird) {
+  EXPECT_NEAR(FlitFec::valid_position_fraction(0), 86.0 / 255.0, 1e-12);
+  EXPECT_NEAR(FlitFec::valid_position_fraction(1), 85.0 / 255.0, 1e-12);
+  EXPECT_NEAR(FlitFec::valid_position_fraction(2), 85.0 / 255.0, 1e-12);
+}
+
+TEST(FlitFec, PerLaneStatusReported) {
+  FlitFec fec;
+  Xoshiro256 rng(41);
+  auto flit = random_flit(fec, rng);
+  flit[0] ^= 0x11;  // lane 0 single error
+  const auto result = fec.decode(flit);
+  EXPECT_EQ(result.sub_block[0], DecodeStatus::kCorrected);
+  EXPECT_EQ(result.sub_block[1], DecodeStatus::kClean);
+  EXPECT_EQ(result.sub_block[2], DecodeStatus::kClean);
+}
+
+}  // namespace
+}  // namespace rxl::rs

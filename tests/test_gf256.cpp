@@ -1,0 +1,131 @@
+// Field-axiom and arithmetic tests for GF(2^8).
+#include "rxl/gf256/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rxl::gf256 {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x00, 0x00), 0x00);
+  EXPECT_EQ(add(0xFF, 0xFF), 0x00);
+  EXPECT_EQ(add(0xA5, 0x5A), 0xFF);
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, MulMatchesSchoolbook) {
+  // Reference carry-less multiply mod 0x11D.
+  auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+    unsigned acc = 0;
+    unsigned aa = a;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) acc ^= aa << i;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc & (1u << bit)) acc ^= kPrimitivePoly << (bit - 8);
+    }
+    return static_cast<std::uint8_t>(acc);
+  };
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 0; b < 256; b += 7) {
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                slow_mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, MulCommutativeAssociative) {
+  for (unsigned a = 1; a < 256; a += 5) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(mul(x, y), mul(y, x));
+      const std::uint8_t z = 0x37;
+      EXPECT_EQ(mul(mul(x, y), z), mul(x, mul(y, z)));
+    }
+  }
+}
+
+TEST(Gf256, DistributiveLaw) {
+  for (unsigned a = 0; a < 256; a += 17) {
+    for (unsigned b = 0; b < 256; b += 13) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      const std::uint8_t z = 0x9C;
+      EXPECT_EQ(mul(z, add(x, y)), add(mul(z, x), mul(z, y)));
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, inv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivIsMulByInverse) {
+  for (unsigned a = 0; a < 256; a += 9) {
+    for (unsigned b = 1; b < 256; b += 23) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(x, y), mul(x, inv(y)));
+      EXPECT_EQ(mul(div(x, y), y), x);
+    }
+  }
+}
+
+TEST(Gf256, AlphaGeneratesFullGroup) {
+  bool seen[256] = {};
+  for (unsigned i = 0; i < kGroupOrder; ++i) {
+    const std::uint8_t value = alpha_pow(i);
+    EXPECT_NE(value, 0);
+    EXPECT_FALSE(seen[value]) << "alpha^" << i << " repeats";
+    seen[value] = true;
+  }
+  EXPECT_EQ(alpha_pow(kGroupOrder), alpha_pow(0));  // order divides 255
+}
+
+TEST(Gf256, LogIsInverseOfExp) {
+  for (unsigned i = 0; i < kGroupOrder; ++i) {
+    EXPECT_EQ(log(alpha_pow(i)), i);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  const std::uint8_t a = 0x53;
+  std::uint8_t acc = 1;
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(pow(a, e), acc);
+    acc = mul(acc, a);
+  }
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+TEST(Gf256, PolyEvalHorner) {
+  // p(x) = 3 + 2x + x^2 at x = alpha: verify against manual expansion.
+  const std::uint8_t coeffs[] = {3, 2, 1};
+  const std::uint8_t x = alpha_pow(1);
+  const std::uint8_t expected =
+      add(add(3, mul(2, x)), mul(x, x));
+  EXPECT_EQ(poly_eval(coeffs, x), expected);
+}
+
+TEST(Gf256, PolyEvalEmptyAndConstant) {
+  EXPECT_EQ(poly_eval({}, 0x42), 0);
+  const std::uint8_t constant[] = {0x7E};
+  EXPECT_EQ(poly_eval(constant, 0x42), 0x7E);
+}
+
+}  // namespace
+}  // namespace rxl::gf256

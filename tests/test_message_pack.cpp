@@ -1,0 +1,71 @@
+#include "rxl/flit/message_pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace rxl::flit {
+namespace {
+
+TEST(MessagePack, RoundTrip) {
+  std::vector<PackedMessage> messages;
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    messages.push_back(PackedMessage{MessageKind::kRequest,
+                                     static_cast<std::uint16_t>(i % 3),
+                                     static_cast<std::uint16_t>(100 + i)});
+  }
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+  EXPECT_EQ(pack_messages(messages, payload), 10u);
+  EXPECT_EQ(unpack_messages(payload), messages);
+}
+
+TEST(MessagePack, EmptyPayloadYieldsNoMessages) {
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+  EXPECT_TRUE(unpack_messages(payload).empty());
+}
+
+TEST(MessagePack, CapacityIs48Slots) {
+  EXPECT_EQ(kSlotsPerFlit, 48u);
+  std::vector<PackedMessage> messages(
+      60, PackedMessage{MessageKind::kData, 1, 2});
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+  EXPECT_EQ(pack_messages(messages, payload), kSlotsPerFlit);
+  EXPECT_EQ(unpack_messages(payload).size(), kSlotsPerFlit);
+}
+
+TEST(MessagePack, MixedKindsPreserved) {
+  std::vector<PackedMessage> messages{
+      {MessageKind::kRequest, 7, 1},
+      {MessageKind::kResponse, 7, 2},
+      {MessageKind::kData, 8, 3},
+  };
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+  pack_messages(messages, payload);
+  const auto decoded = unpack_messages(payload);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].kind, MessageKind::kRequest);
+  EXPECT_EQ(decoded[1].kind, MessageKind::kResponse);
+  EXPECT_EQ(decoded[2].kind, MessageKind::kData);
+}
+
+TEST(MessagePack, RepackClearsStaleSlots) {
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+  std::vector<PackedMessage> many(20, PackedMessage{MessageKind::kData, 1, 1});
+  pack_messages(many, payload);
+  std::vector<PackedMessage> few(2, PackedMessage{MessageKind::kRequest, 2, 2});
+  pack_messages(few, payload);
+  EXPECT_EQ(unpack_messages(payload).size(), 2u);
+}
+
+TEST(MessagePack, FullRangeFieldValues) {
+  std::vector<PackedMessage> messages{
+      {MessageKind::kData, 0xFFFF, 0xFFFF},
+      {MessageKind::kRequest, 0, 0},
+  };
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+  pack_messages(messages, payload);
+  EXPECT_EQ(unpack_messages(payload), messages);
+}
+
+}  // namespace
+}  // namespace rxl::flit

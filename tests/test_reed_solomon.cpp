@@ -1,0 +1,193 @@
+// Shortened Reed-Solomon codec: correction, detection, shortening behaviour.
+#include "rxl/rs/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/gf256/gf256.hpp"
+
+namespace rxl::rs {
+namespace {
+
+std::vector<std::uint8_t> random_codeword(const ReedSolomon& code,
+                                          Xoshiro256& rng) {
+  std::vector<std::uint8_t> cw(code.codeword_symbols());
+  for (std::size_t i = 0; i < code.data_symbols(); ++i)
+    cw[i] = static_cast<std::uint8_t>(rng.bounded(256));
+  code.encode(std::span<const std::uint8_t>(cw.data(), code.data_symbols()),
+              std::span<std::uint8_t>(cw.data() + code.data_symbols(),
+                                      code.parity_symbols()));
+  return cw;
+}
+
+TEST(ReedSolomon, CleanCodewordHasZeroSyndromes) {
+  ReedSolomon code(83, 2);
+  Xoshiro256 rng(1);
+  auto cw = random_codeword(code, rng);
+  std::uint8_t syn[2];
+  code.syndromes(cw, syn);
+  EXPECT_EQ(syn[0], 0);
+  EXPECT_EQ(syn[1], 0);
+  EXPECT_EQ(code.decode(cw).status, DecodeStatus::kClean);
+}
+
+TEST(ReedSolomon, RejectsInvalidGeometry) {
+  EXPECT_THROW(ReedSolomon(254, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(10, 0), std::invalid_argument);
+}
+
+TEST(ReedSolomon, AccessorsReportGeometry) {
+  ReedSolomon code(84, 2);
+  EXPECT_EQ(code.data_symbols(), 84u);
+  EXPECT_EQ(code.parity_symbols(), 2u);
+  EXPECT_EQ(code.codeword_symbols(), 86u);
+  EXPECT_EQ(code.correctable(), 1u);
+}
+
+/// Single-symbol errors must be corrected at EVERY codeword position.
+class RsSinglePosition : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsSinglePosition, CorrectsAnyPosition) {
+  ReedSolomon code(83, 2);
+  Xoshiro256 rng(42);
+  const auto original = random_codeword(code, rng);
+  const std::size_t position = GetParam();
+  for (const std::uint8_t magnitude : {0x01, 0x80, 0xFF}) {
+    auto corrupted = original;
+    corrupted[position] ^= magnitude;
+    const DecodeResult result = code.decode(corrupted);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(result.corrected_symbols, 1u);
+    EXPECT_EQ(corrupted, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, RsSinglePosition,
+                         ::testing::Values(0u, 1u, 41u, 82u, 83u, 84u));
+
+TEST(ReedSolomon, DoubleErrorSameMagnitudeAlwaysDetected) {
+  // Two equal-magnitude errors force S0 = 0 with S1 != 0: detected with
+  // certainty. This is the deterministic kill pattern scenario tests use.
+  ReedSolomon code(83, 2);
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto cw = random_codeword(code, rng);
+    const auto backup = cw;
+    const std::size_t i = rng.bounded(cw.size());
+    std::size_t j = rng.bounded(cw.size());
+    while (j == i) j = rng.bounded(cw.size());
+    const auto magnitude = static_cast<std::uint8_t>(1 + rng.bounded(255));
+    cw[i] ^= magnitude;
+    cw[j] ^= magnitude;
+    EXPECT_EQ(code.decode(cw).status, DecodeStatus::kDetectedUncorrectable);
+    // A failed decode must leave the buffer untouched (minus our injection).
+    auto expected = backup;
+    expected[i] ^= magnitude;
+    expected[j] ^= magnitude;
+    EXPECT_EQ(cw, expected);
+  }
+}
+
+TEST(ReedSolomon, DoubleErrorMiscorrectionRateNearOneThird) {
+  // Random double errors in a k=83 shortened code alias to a valid single-
+  // error syndrome with probability ~ n/255 = 85/255 = 1/3 (paper §2.5).
+  ReedSolomon code(83, 2);
+  Xoshiro256 rng(99);
+  int miscorrected = 0;
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto cw = random_codeword(code, rng);
+    const std::size_t i = rng.bounded(cw.size());
+    std::size_t j = rng.bounded(cw.size());
+    while (j == i) j = rng.bounded(cw.size());
+    cw[i] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    cw[j] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    if (code.decode(cw).status == DecodeStatus::kCorrected) ++miscorrected;
+  }
+  const double rate = static_cast<double>(miscorrected) / kTrials;
+  EXPECT_NEAR(rate, 85.0 / 255.0, 0.03);
+}
+
+TEST(ReedSolomon, UnshortenedCodeMiscorrectsAlmostAlways) {
+  // With k = 253 (no shortening) nearly every double error aliases to some
+  // valid position — the detection power comes FROM the shortening.
+  ReedSolomon code(253, 2);
+  Xoshiro256 rng(5);
+  int miscorrected = 0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto cw = random_codeword(code, rng);
+    const std::size_t i = rng.bounded(cw.size());
+    std::size_t j = rng.bounded(cw.size());
+    while (j == i) j = rng.bounded(cw.size());
+    cw[i] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    cw[j] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    if (code.decode(cw).status == DecodeStatus::kCorrected) ++miscorrected;
+  }
+  EXPECT_GT(static_cast<double>(miscorrected) / kTrials, 0.9);
+}
+
+/// Generic decoder (t >= 2): parameterised over parity count.
+class RsGeneral : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsGeneral, CorrectsUpToTErrors) {
+  const std::size_t parity = GetParam();
+  const unsigned t = static_cast<unsigned>(parity / 2);
+  ReedSolomon code(64, parity);
+  Xoshiro256 rng(1234 + parity);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto cw = random_codeword(code, rng);
+    const auto original = cw;
+    // Inject exactly t errors at distinct positions.
+    std::vector<std::size_t> positions;
+    while (positions.size() < t) {
+      const std::size_t p = rng.bounded(cw.size());
+      bool fresh = true;
+      for (const std::size_t q : positions) fresh = fresh && q != p;
+      if (fresh) positions.push_back(p);
+    }
+    for (const std::size_t p : positions)
+      cw[p] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    const DecodeResult result = code.decode(cw);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(result.corrected_symbols, t);
+    EXPECT_EQ(cw, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParitySweep, RsGeneral,
+                         ::testing::Values(4u, 6u, 8u, 16u));
+
+TEST(ReedSolomon, GeneralDecoderDetectsBeyondT) {
+  ReedSolomon code(64, 4);  // t = 2
+  Xoshiro256 rng(77);
+  int detected = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto cw = random_codeword(code, rng);
+    // 4 errors > t = 2.
+    for (int e = 0; e < 4; ++e)
+      cw[rng.bounded(cw.size())] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    if (code.decode(cw).status == DecodeStatus::kDetectedUncorrectable)
+      ++detected;
+  }
+  // Miscorrection is possible but rare; most beyond-t patterns are caught.
+  EXPECT_GT(detected, kTrials * 8 / 10);
+}
+
+TEST(ReedSolomon, ParityPlacementIsSystematic) {
+  // Data bytes must appear verbatim in the codeword (systematic encoding).
+  ReedSolomon code(10, 2);
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<std::uint8_t> parity(2);
+  code.encode(data, parity);
+  std::vector<std::uint8_t> cw = data;
+  cw.insert(cw.end(), parity.begin(), parity.end());
+  EXPECT_EQ(code.decode(cw).status, DecodeStatus::kClean);
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(cw[i], data[i]);
+}
+
+}  // namespace
+}  // namespace rxl::rs

@@ -1,0 +1,124 @@
+// Behavioural specification of the deterministic RNG.
+#include "rxl/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rxl {
+namespace {
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256, ZeroSeedIsValid) {
+  Xoshiro256 rng(0);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 100; ++i) acc |= rng();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kN = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kN; ++i) counts[rng.bounded(kBuckets)] += 1;
+  for (const int count : counts)
+    EXPECT_NEAR(count, kN / kBuckets, 5 * std::sqrt(kN / kBuckets));
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, BinomialMeanMatches) {
+  Xoshiro256 rng(5);
+  const std::uint64_t n = 2048;
+  const double p = 1e-3;
+  double total = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i)
+    total += static_cast<double>(rng.binomial(n, p));
+  const double mean = total / kTrials;
+  const double expected = static_cast<double>(n) * p;
+  EXPECT_NEAR(mean, expected, 0.05 * expected + 0.02);
+}
+
+TEST(Xoshiro256, BinomialDegenerateCases) {
+  Xoshiro256 rng(6);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+}
+
+TEST(Xoshiro256, BinomialDenseRegime) {
+  Xoshiro256 rng(8);
+  // n*p = 500 >= 32 exercises the dense loop.
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i)
+    total += static_cast<double>(rng.binomial(1000, 0.5));
+  EXPECT_NEAR(total / 200.0, 500.0, 15.0);
+}
+
+TEST(Xoshiro256, GeometricMeanMatches) {
+  Xoshiro256 rng(13);
+  const double p = 0.05;
+  double total = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) total += static_cast<double>(rng.geometric(p));
+  // Mean of failures-before-success is (1-p)/p = 19.
+  EXPECT_NEAR(total / kN, (1.0 - p) / p, 0.5);
+}
+
+TEST(Xoshiro256, GeometricEdgeCases) {
+  Xoshiro256 rng(14);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+  EXPECT_GT(rng.geometric(0.0), 1ull << 60);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStream) {
+  Xoshiro256 parent(21);
+  Xoshiro256 child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace rxl

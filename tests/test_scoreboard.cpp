@@ -1,0 +1,153 @@
+#include "rxl/txn/scoreboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "rxl/flit/message_pack.hpp"
+
+namespace rxl::txn {
+namespace {
+
+sim::FlitEnvelope envelope_for(std::uint64_t index) {
+  sim::FlitEnvelope envelope;
+  envelope.truth_index = index;
+  envelope.has_truth = true;
+  return envelope;
+}
+
+std::vector<std::uint8_t> payload_of(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(240, fill);
+}
+
+TEST(StreamScoreboard, InOrderStream) {
+  StreamScoreboard board;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto payload = payload_of(static_cast<std::uint8_t>(i));
+    board.register_sent(i, payload);
+    board.on_deliver(payload, envelope_for(i));
+  }
+  const auto stats = board.finalize();
+  EXPECT_EQ(stats.delivered, 5u);
+  EXPECT_EQ(stats.in_order, 5u);
+  EXPECT_EQ(stats.order_violations, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.missing, 0u);
+}
+
+TEST(StreamScoreboard, GapIsOrderViolation) {
+  StreamScoreboard board;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    board.register_sent(i, payload_of(static_cast<std::uint8_t>(i)));
+  board.on_deliver(payload_of(0), envelope_for(0));
+  board.on_deliver(payload_of(2), envelope_for(2));  // skipped 1
+  const auto stats = board.finalize();
+  EXPECT_EQ(stats.order_violations, 1u);
+  EXPECT_EQ(stats.in_order, 1u);
+  EXPECT_EQ(stats.missing, 1u);  // index 1 never arrived
+}
+
+TEST(StreamScoreboard, GapLaterFilledCountsOnce) {
+  StreamScoreboard board;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    board.register_sent(i, payload_of(static_cast<std::uint8_t>(i)));
+  board.on_deliver(payload_of(0), envelope_for(0));
+  board.on_deliver(payload_of(2), envelope_for(2));
+  board.on_deliver(payload_of(1), envelope_for(1));  // late arrival
+  const auto stats = board.finalize();
+  EXPECT_EQ(stats.order_violations, 1u);   // one skip event (2 before 1)
+  EXPECT_EQ(stats.late_deliveries, 1u);    // 1 consumed out of position
+  EXPECT_EQ(stats.in_order, 1u);           // only 0 arrived in position
+  EXPECT_EQ(stats.missing, 0u);
+}
+
+TEST(StreamScoreboard, PermanentGapCountsOneViolation) {
+  // After a skip the stream moves on: later in-order traffic is not
+  // repeatedly penalised for an old gap.
+  StreamScoreboard board;
+  for (std::uint64_t i = 0; i < 6; ++i)
+    board.register_sent(i, payload_of(static_cast<std::uint8_t>(i)));
+  board.on_deliver(payload_of(0), envelope_for(0));
+  board.on_deliver(payload_of(2), envelope_for(2));  // 1 lost forever
+  for (std::uint64_t i = 3; i < 6; ++i)
+    board.on_deliver(payload_of(static_cast<std::uint8_t>(i)),
+                     envelope_for(i));
+  const auto stats = board.finalize();
+  EXPECT_EQ(stats.order_violations, 1u);
+  EXPECT_EQ(stats.in_order, 4u);  // 0, 3, 4, 5
+  EXPECT_EQ(stats.missing, 1u);
+}
+
+TEST(StreamScoreboard, DuplicateDetected) {
+  StreamScoreboard board;
+  board.register_sent(0, payload_of(0));
+  board.on_deliver(payload_of(0), envelope_for(0));
+  board.on_deliver(payload_of(0), envelope_for(0));
+  EXPECT_EQ(board.stats().duplicates, 1u);
+  EXPECT_EQ(board.stats().in_order, 1u);
+}
+
+TEST(StreamScoreboard, CorruptionDetectedByHash) {
+  StreamScoreboard board;
+  board.register_sent(0, payload_of(0xAA));
+  board.on_deliver(payload_of(0xAB), envelope_for(0));  // one byte differs
+  EXPECT_EQ(board.stats().data_corruptions, 1u);
+}
+
+TEST(StreamScoreboard, UntrackedDeliveriesCounted) {
+  StreamScoreboard board;
+  sim::FlitEnvelope envelope;  // has_truth = false
+  board.on_deliver(payload_of(0), envelope);
+  EXPECT_EQ(board.stats().untracked, 1u);
+  EXPECT_EQ(board.stats().in_order, 0u);
+}
+
+TEST(StreamScoreboard, EmptyFinalize) {
+  StreamScoreboard board;
+  const auto stats = board.finalize();
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.missing, 0u);
+}
+
+std::vector<std::uint8_t> packed(std::vector<flit::PackedMessage> messages) {
+  std::vector<std::uint8_t> payload(240, 0);
+  flit::pack_messages(messages, payload);
+  return payload;
+}
+
+TEST(TxnScoreboard, InOrderRequestsAndData) {
+  TxnScoreboard board;
+  board.on_deliver_payload(packed({{flit::MessageKind::kRequest, 1, 0},
+                                   {flit::MessageKind::kData, 2, 0}}));
+  board.on_deliver_payload(packed({{flit::MessageKind::kRequest, 1, 1},
+                                   {flit::MessageKind::kData, 2, 1}}));
+  EXPECT_EQ(board.stats().messages, 4u);
+  EXPECT_EQ(board.stats().duplicate_executions, 0u);
+  EXPECT_EQ(board.stats().out_of_order_data, 0u);
+}
+
+TEST(TxnScoreboard, DuplicateRequestFlagged) {
+  TxnScoreboard board;
+  board.on_deliver_payload(packed({{flit::MessageKind::kRequest, 1, 0}}));
+  board.on_deliver_payload(packed({{flit::MessageKind::kRequest, 1, 0}}));
+  EXPECT_EQ(board.stats().requests_executed, 2u);
+  EXPECT_EQ(board.stats().duplicate_executions, 1u);
+}
+
+TEST(TxnScoreboard, OutOfOrderSameCqidDataFlagged) {
+  TxnScoreboard board;
+  board.on_deliver_payload(packed({{flit::MessageKind::kData, 3, 1}}));  // tag 1 before 0
+  EXPECT_EQ(board.stats().out_of_order_data, 1u);
+}
+
+TEST(TxnScoreboard, DifferentCqidsAreIndependentOrderingDomains) {
+  // CXL permits out-of-order across CQIDs (paper §4.2).
+  TxnScoreboard board;
+  board.on_deliver_payload(packed({{flit::MessageKind::kData, 1, 0}}));
+  board.on_deliver_payload(packed({{flit::MessageKind::kData, 2, 0}}));
+  board.on_deliver_payload(packed({{flit::MessageKind::kData, 1, 1}}));
+  EXPECT_EQ(board.stats().out_of_order_data, 0u);
+}
+
+}  // namespace
+}  // namespace rxl::txn

@@ -1,0 +1,69 @@
+#include "rxl/txn/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rxl::txn {
+namespace {
+
+TEST(MessageTrafficGen, TagsIncreasePerCqid) {
+  MessageTrafficGen::Config config;
+  config.cqids = 4;
+  config.seed = 9;
+  MessageTrafficGen gen(config);
+  std::map<std::uint16_t, std::uint16_t> next_tag;
+  for (const auto& message : gen.next(1000)) {
+    EXPECT_LT(message.cqid, 4u);
+    auto [it, _] = next_tag.try_emplace(message.cqid, 0);
+    EXPECT_EQ(message.tag, it->second);
+    it->second += 1;
+  }
+  EXPECT_EQ(gen.messages_generated(), 1000u);
+}
+
+TEST(MessageTrafficGen, KindMixRoughlyMatchesConfig) {
+  MessageTrafficGen::Config config;
+  config.cqids = 2;
+  config.request_fraction = 0.5;
+  config.data_fraction = 0.3;
+  config.seed = 10;
+  MessageTrafficGen gen(config);
+  int requests = 0, data = 0, responses = 0;
+  constexpr int kN = 20000;
+  for (const auto& message : gen.next(kN)) {
+    switch (message.kind) {
+      case flit::MessageKind::kRequest: ++requests; break;
+      case flit::MessageKind::kData: ++data; break;
+      case flit::MessageKind::kResponse: ++responses; break;
+      default: FAIL();
+    }
+  }
+  EXPECT_NEAR(requests / double(kN), 0.5, 0.02);
+  EXPECT_NEAR(data / double(kN), 0.3, 0.02);
+  EXPECT_NEAR(responses / double(kN), 0.2, 0.02);
+}
+
+TEST(MessageTrafficGen, NextPayloadIsFullyPacked) {
+  MessageTrafficGen gen({});
+  const auto payload = gen.next_payload();
+  EXPECT_EQ(payload.size(), 240u);
+  EXPECT_EQ(flit::unpack_messages(payload).size(), flit::kSlotsPerFlit);
+}
+
+TEST(MessageTrafficGen, ZeroCqidsCoercedToOne) {
+  MessageTrafficGen::Config config;
+  config.cqids = 0;
+  MessageTrafficGen gen(config);
+  for (const auto& message : gen.next(10)) EXPECT_EQ(message.cqid, 0u);
+}
+
+TEST(MessageTrafficGen, DeterministicForSeed) {
+  MessageTrafficGen::Config config;
+  config.seed = 77;
+  MessageTrafficGen a(config), b(config);
+  EXPECT_EQ(a.next(100), b.next(100));
+}
+
+}  // namespace
+}  // namespace rxl::txn

@@ -61,14 +61,15 @@ int main() {
     const auto ci = sim::wilson_interval(
         static_cast<std::uint64_t>(detected),
         static_cast<std::uint64_t>(uncorrectable == 0 ? 1 : uncorrectable));
+    const std::string interval =
+        uncorrectable == 0
+            ? std::string(1, '-')
+            : sim::interval_str(sim::pct(ci.lower), sim::pct(ci.upper));
     table.add_row(
         {std::to_string(burst), std::to_string(corrected_ok),
          std::to_string(detected), std::to_string(escaped),
          uncorrectable == 0 ? "n/a (all corrected)" : sim::pct(ci.estimate),
-         correctable ? "corrects 100%" : sim::pct(model),
-         uncorrectable == 0
-             ? "-"
-             : "[" + sim::pct(ci.lower) + "," + sim::pct(ci.upper) + "]"});
+         correctable ? "corrects 100%" : sim::pct(model), interval});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

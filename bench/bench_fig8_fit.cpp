@@ -60,12 +60,13 @@ void monte_carlo_shape() {
       const std::uint64_t sent = report.downstream.tx.data_flits_sent +
                                  report.upstream.tx.data_flits_sent;
       const auto ci = sim::wilson_interval(order, sent);
+      const std::string interval =
+          sim::interval_str(sim::sci(ci.lower, 1), sim::sci(ci.upper, 1));
       table.add_row(
           {std::to_string(levels), transport::protocol_name(protocol),
            std::to_string(report.downstream.switch_dropped_fec +
                           report.upstream.switch_dropped_fec),
-           std::to_string(order), sim::sci(ci.estimate),
-           "[" + sim::sci(ci.lower, 1) + "," + sim::sci(ci.upper, 1) + "]",
+           std::to_string(order), sim::sci(ci.estimate), interval,
            std::to_string(down.missing + up.missing)});
     }
   }

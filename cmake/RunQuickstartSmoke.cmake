@@ -1,0 +1,26 @@
+# Smoke test for examples/quickstart: must exit 0 AND print the
+# drop-detection line that demonstrates the ISN mechanism end to end.
+# (A plain PASS_REGULAR_EXPRESSION would ignore the exit code, so both
+# checks are done explicitly here.)
+if(NOT DEFINED QUICKSTART_BIN)
+  message(FATAL_ERROR "QUICKSTART_BIN not set")
+endif()
+
+execute_process(
+  COMMAND ${QUICKSTART_BIN}
+  RESULT_VARIABLE quickstart_rc
+  OUTPUT_VARIABLE quickstart_out
+  ERROR_VARIABLE quickstart_err)
+
+if(NOT quickstart_rc EQUAL 0)
+  message(FATAL_ERROR
+    "quickstart exited with ${quickstart_rc}\nstdout:\n${quickstart_out}\n"
+    "stderr:\n${quickstart_err}")
+endif()
+
+string(FIND "${quickstart_out}" "CRC MISMATCH (drop detected" match_pos)
+if(match_pos EQUAL -1)
+  message(FATAL_ERROR
+    "quickstart output is missing the drop-detection line "
+    "'CRC MISMATCH (drop detected':\n${quickstart_out}")
+endif()

@@ -43,6 +43,10 @@ class Crc64 {
   [[nodiscard]] static std::uint64_t begin() noexcept { return kInit64; }
   [[nodiscard]] std::uint64_t update(std::uint64_t state,
                                      std::span<const std::uint8_t> data) const;
+  /// Streaming slice-by-8 kernel (no init/xorout); `update` dispatches here
+  /// for spans of at least one full word.
+  [[nodiscard]] std::uint64_t update_sliced(
+      std::uint64_t state, std::span<const std::uint8_t> data) const;
   [[nodiscard]] std::uint64_t update_byte(std::uint64_t state,
                                           std::uint8_t byte) const {
     return table_[0][(state ^ byte) & 0xFF] ^ (state >> 8);

@@ -80,6 +80,9 @@ class ReedSolomon {
   std::size_t k_;                        ///< data symbols
   std::size_t r_;                        ///< parity symbols (2t)
   std::vector<std::uint8_t> generator_;  ///< g(x), ascending degree, monic
+  /// Row f (r_ bytes) holds f * generator_[i] for every feedback value f,
+  /// so the encode LFSR is pure table lookups on the hot path.
+  std::vector<std::uint8_t> generator_mul_;
 };
 
 }  // namespace rxl::rs

@@ -57,4 +57,18 @@ class TextTable {
 /// Fixed-point percentage ("0.30%").
 [[nodiscard]] std::string pct(double fraction, int digits = 2);
 
+/// "[lo,hi]" from two preformatted bounds (e.g. pct/sci output). Built with
+/// += appends rather than operator+ chains, which trip a GCC 12 -Wrestrict
+/// false positive at -O2/-O3 under -Werror.
+[[nodiscard]] inline std::string interval_str(const std::string& lo,
+                                              const std::string& hi) {
+  std::string out;
+  out += '[';
+  out += lo;
+  out += ',';
+  out += hi;
+  out += ']';
+  return out;
+}
+
 }  // namespace rxl::sim

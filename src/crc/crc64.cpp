@@ -32,17 +32,19 @@ Crc64::Crc64() {
 }
 
 std::uint64_t Crc64::compute(std::span<const std::uint8_t> data) const {
+  // update() dispatches to the slice-by-8 kernel for spans >= one word.
   return finish(update(begin(), data));
 }
 
 std::uint64_t Crc64::update(std::uint64_t state,
                             std::span<const std::uint8_t> data) const {
+  if (data.size() >= 8) return update_sliced(state, data);
   for (const std::uint8_t byte : data) state = update_byte(state, byte);
   return state;
 }
 
-std::uint64_t Crc64::compute_sliced(std::span<const std::uint8_t> data) const {
-  std::uint64_t state = begin();
+std::uint64_t Crc64::update_sliced(std::uint64_t state,
+                                   std::span<const std::uint8_t> data) const {
   std::size_t i = 0;
   const std::size_t n = data.size();
   for (; i + 8 <= n; i += 8) {
@@ -56,7 +58,11 @@ std::uint64_t Crc64::compute_sliced(std::span<const std::uint8_t> data) const {
             table_[1][(word >> 48) & 0xFF] ^ table_[0][(word >> 56) & 0xFF];
   }
   for (; i < n; ++i) state = update_byte(state, data[i]);
-  return finish(state);
+  return state;
+}
+
+std::uint64_t Crc64::compute_sliced(std::span<const std::uint8_t> data) const {
+  return finish(update_sliced(begin(), data));
 }
 
 const Crc64& shared_crc64() {

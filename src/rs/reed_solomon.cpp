@@ -25,6 +25,13 @@ ReedSolomon::ReedSolomon(std::size_t data_symbols, std::size_t parity_symbols)
     }
     generator_ = std::move(next);
   }
+  generator_mul_.resize(256 * r_);
+  for (unsigned f = 0; f < 256; ++f) {
+    for (std::size_t i = 0; i < r_; ++i) {
+      generator_mul_[f * r_ + i] =
+          gf::mul(static_cast<std::uint8_t>(f), generator_[i]);
+    }
+  }
 }
 
 void ReedSolomon::encode(std::span<const std::uint8_t> data,
@@ -37,10 +44,11 @@ void ReedSolomon::encode(std::span<const std::uint8_t> data,
   assert(r_ <= 64);
   for (const std::uint8_t symbol : data) {
     const std::uint8_t feedback = gf::add(symbol, reg[r_ - 1]);
+    const std::uint8_t* row = &generator_mul_[std::size_t{feedback} * r_];
     for (std::size_t i = r_ - 1; i > 0; --i) {
-      reg[i] = gf::add(reg[i - 1], gf::mul(feedback, generator_[i]));
+      reg[i] = gf::add(reg[i - 1], row[i]);
     }
-    reg[0] = gf::mul(feedback, generator_[0]);
+    reg[0] = row[0];
   }
   // Buffer order is descending degree (data-first layout): parity[0] is the
   // highest-degree remainder coefficient.

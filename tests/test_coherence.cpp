@@ -96,7 +96,9 @@ TEST_P(CoherenceRandom, InvariantsHoldUnderRandomTraffic) {
   CoherenceModel model(config);
   for (int step = 0; step < 5000; ++step) {
     model.step();
-    if (step % 500 == 0) ASSERT_TRUE(model.invariants_hold()) << "step " << step;
+    if (step % 500 == 0) {
+      ASSERT_TRUE(model.invariants_hold()) << "step " << step;
+    }
   }
   EXPECT_TRUE(model.invariants_hold());
   EXPECT_EQ(model.counters().reads + model.counters().writes, 5000u);

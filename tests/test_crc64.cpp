@@ -49,6 +49,23 @@ TEST(Crc64, SlicedMatchesBitwise) {
   }
 }
 
+TEST(Crc64, AllEnginesAgreeOverRandomLengths0To256) {
+  // `compute` dispatches to the slice-by-8 kernel for spans >= 8 bytes; this
+  // pins its equivalence with the bitwise oracle (and the other two engines)
+  // across every length straddling that dispatch boundary.
+  Xoshiro256 rng(7);
+  const Crc64& engine = shared_crc64();
+  for (std::size_t length = 0; length <= 256; ++length) {
+    std::vector<std::uint8_t> data(length);
+    for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.bounded(256));
+    const std::uint64_t reference = crc64_bitwise(data);
+    EXPECT_EQ(engine.compute(data), reference) << "len=" << length;
+    EXPECT_EQ(engine.compute_sliced(data), reference) << "len=" << length;
+    EXPECT_EQ(Crc64::finish(engine.update(Crc64::begin(), data)), reference)
+        << "len=" << length;
+  }
+}
+
 TEST(Crc64, StreamingMatchesOneShot) {
   Xoshiro256 rng(3);
   const Crc64& engine = shared_crc64();

@@ -8,6 +8,7 @@
 #include "rxl/common/rng.hpp"
 #include "rxl/crc/crc64.hpp"
 #include "rxl/crc/isn_crc.hpp"
+#include "rxl/gf256/gf256.hpp"
 #include "rxl/flit/message_pack.hpp"
 #include "rxl/rs/flit_fec.hpp"
 #include "rxl/rs/reed_solomon.hpp"
@@ -59,6 +60,42 @@ void BM_IsnCrc_Encode(benchmark::State& state) {
 }
 BENCHMARK(BM_IsnCrc_Encode);
 
+void BM_Gf256_MulAddSpan(benchmark::State& state) {
+  const auto src = random_bytes(240, 20);
+  auto dst = random_bytes(240, 21);
+  std::uint8_t c = 2;
+  for (auto _ : state) {
+    gf256::mul_add_span(dst, src, c);
+    benchmark::DoNotOptimize(dst.data());
+    c = static_cast<std::uint8_t>(c * 3 + 1) | 2;  // keep c outside {0, 1}
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 240);
+}
+BENCHMARK(BM_Gf256_MulAddSpan);
+
+void BM_Gf256_DotSpan(benchmark::State& state) {
+  const auto weights = random_bytes(85, 22);
+  const auto data = random_bytes(85, 23);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gf256::dot_span(weights, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 85);
+}
+BENCHMARK(BM_Gf256_DotSpan);
+
+void BM_Rs_Syndromes(benchmark::State& state) {
+  const rs::ReedSolomon code(83, 2);
+  auto codeword = random_bytes(85, 24);
+  code.encode(std::span<const std::uint8_t>(codeword.data(), 83),
+              std::span<std::uint8_t>(codeword.data() + 83, 2));
+  std::uint8_t syn[2];
+  for (auto _ : state) {
+    code.syndromes(codeword, syn);
+    benchmark::DoNotOptimize(syn);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 85);
+}
+BENCHMARK(BM_Rs_Syndromes);
+
 void BM_Rs_Encode(benchmark::State& state) {
   const rs::ReedSolomon code(83, 2);
   const auto data = random_bytes(83, 5);
@@ -106,6 +143,35 @@ void BM_FlitFec_Encode(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) * kFlitBytes);
 }
 BENCHMARK(BM_FlitFec_Encode);
+
+void BM_FlitFec_DecodeClean(benchmark::State& state) {
+  const rs::FlitFec fec;
+  auto image = random_bytes(kFlitBytes, 12);
+  fec.encode(image);
+  for (auto _ : state) {
+    auto copy = image;
+    benchmark::DoNotOptimize(fec.decode(copy));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kFlitBytes);
+}
+BENCHMARK(BM_FlitFec_DecodeClean);
+
+void BM_FlitFec_DecodeBurst(benchmark::State& state) {
+  const rs::FlitFec fec;
+  auto image = random_bytes(kFlitBytes, 13);
+  fec.encode(image);
+  for (auto _ : state) {
+    auto copy = image;
+    copy[60] ^= 0x7B;  // 3-byte wire burst: one error in every lane
+    copy[61] ^= 0x1F;
+    copy[62] ^= 0xC4;
+    benchmark::DoNotOptimize(fec.decode(copy));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kFlitBytes);
+}
+BENCHMARK(BM_FlitFec_DecodeBurst);
 
 void BM_FlitFec_DecodeCorrupted(benchmark::State& state) {
   const rs::FlitFec fec;

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Captures the performance-tracking artifacts that EXPERIMENTS.md records:
+#   * bench_codec_micro google-benchmark JSON
+#   * wall-clock of the two slow fabric Monte Carlo suites + the full ctest run
+#   * bench_reliability_table stdout (reproduced paper numbers; must stay
+#     diff-clean across perf work)
+#
+# Usage: bench/capture_benchmarks.sh [output-dir]   (default: bench/captures)
+# Run from the repo root with an existing -O3 build in ./build
+# (cmake --preset release && cmake --build build -j). Compare two captures
+# with plain `diff -u old/ new/` — reliability_table.txt must not change;
+# codec_micro.json and suite_times.txt are the perf numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out_dir="${1:-bench/captures}"
+build_dir=build
+mkdir -p "$out_dir"
+
+if [[ ! -x "$build_dir/bench/bench_codec_micro" ]]; then
+  echo "error: $build_dir/bench/bench_codec_micro not built" >&2
+  echo "       run: cmake --preset release && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== bench_codec_micro -> $out_dir/codec_micro.json"
+"$build_dir/bench/bench_codec_micro" \
+  --benchmark_out="$out_dir/codec_micro.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "== bench_reliability_table -> $out_dir/reliability_table.txt"
+"$build_dir/bench/bench_reliability_table" > "$out_dir/reliability_table.txt"
+
+echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
+{
+  # The two slow-labeled Monte Carlo binaries register their cases under the
+  # gtest suite names Fabric.* / StarFabric.* (see tests/CMakeLists.txt).
+  for suite in Fabric StarFabric; do
+    start=$(date +%s%3N)
+    ctest --test-dir "$build_dir" -R "^${suite}\." --output-on-failure -Q
+    end=$(date +%s%3N)
+    printf '%s %d.%02ds\n' "$suite" $(((end - start) / 1000)) \
+      $(((end - start) % 1000 / 10))
+  done
+  start=$(date +%s%3N)
+  ctest --test-dir "$build_dir" -Q
+  end=$(date +%s%3N)
+  printf 'full_suite %d.%02ds\n' $(((end - start) / 1000)) \
+    $(((end - start) % 1000 / 10))
+} | tee "$out_dir/suite_times.txt"
+
+echo "capture complete: $out_dir/"

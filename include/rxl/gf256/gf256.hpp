@@ -55,6 +55,14 @@ inline constexpr auto kLog = build_log_table();
   return detail::kExp[power % kGroupOrder];
 }
 
+/// alpha^power without the mod-255 reduction. Precondition: power < 510
+/// (the exp table is doubled). Hot loops keep their exponent in range with
+/// a conditional subtract and call this instead of alpha_pow, so no `%`
+/// lands in the inner loop.
+[[nodiscard]] constexpr std::uint8_t alpha_pow_unreduced(unsigned power) noexcept {
+  return detail::kExp[power];
+}
+
 /// Discrete log base alpha. Precondition: a != 0.
 [[nodiscard]] constexpr unsigned log(std::uint8_t a) noexcept {
   return detail::kLog[a];
@@ -88,5 +96,73 @@ inline constexpr auto kLog = build_log_table();
 /// at the point x (Horner's rule, coefficients in ascending-degree order).
 [[nodiscard]] std::uint8_t poly_eval(std::span<const std::uint8_t> poly,
                                      std::uint8_t x) noexcept;
+
+namespace detail {
+
+/// 4-bit split of the 256x256 product table: for any c, x
+///   mul(c, x) == kMulLo[c*16 + (x & 0x0F)] ^ kMulHi[c*16 + (x >> 4)]
+/// because x = lo + hi*16 and multiplication distributes over GF addition.
+/// Two 4 KiB tables stay resident in L1 and the lookup has no zero-branch,
+/// which is what lets the span kernels below run as straight-line
+/// load/xor/store loops the compiler can unroll and vectorize.
+struct MulNibTables {
+  std::array<std::uint8_t, kFieldSize * 16> lo{};
+  std::array<std::uint8_t, kFieldSize * 16> hi{};
+};
+
+constexpr MulNibTables build_mul_nib_tables() {
+  MulNibTables t;
+  for (unsigned c = 0; c < kFieldSize; ++c) {
+    for (unsigned nib = 0; nib < 16; ++nib) {
+      t.lo[c * 16 + nib] = mul(static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(nib));
+      t.hi[c * 16 + nib] = mul(static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(nib << 4));
+    }
+  }
+  return t;
+}
+
+inline constexpr auto kMulNib = build_mul_nib_tables();
+
+/// The nibble-table product: mul(c, x) with row == c * 16 hoisted by the
+/// caller. All batch kernels and strided RS loops funnel through this one
+/// expression so a table-layout change lands in exactly one place.
+[[nodiscard]] constexpr std::uint8_t mul_nib(std::size_t row,
+                                             std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>(kMulNib.lo[row + (x & 0x0F)] ^
+                                   kMulNib.hi[row + (x >> 4)]);
+}
+
+}  // namespace detail
+
+// --- Batch (span) kernels -------------------------------------------------
+// The scalar `mul` above stays the semantic reference; every kernel below is
+// tested byte-for-byte against it (tests/test_gf256.cpp). The RS hot paths
+// consume xor_fold_span/dot_span (plus strided detail::mul_nib loops); the
+// axpy-style kernels are the general-purpose counterparts for matrix-shaped
+// GF(256) work (erasure coding, generator-matrix products).
+
+/// dst[i] ^= src[i] — GF(256) vector addition. Spans must be equal length.
+void add_span(std::span<std::uint8_t> dst,
+              std::span<const std::uint8_t> src) noexcept;
+
+/// dst[i] = mul(c, dst[i]) — in-place scalar-vector product.
+void mul_span(std::span<std::uint8_t> dst, std::uint8_t c) noexcept;
+
+/// dst[i] ^= mul(c, src[i]) — the GF(256) axpy kernel. Spans must be equal
+/// length and must not overlap.
+void mul_add_span(std::span<std::uint8_t> dst,
+                  std::span<const std::uint8_t> src, std::uint8_t c) noexcept;
+
+/// XOR-reduction of a span, folded 8 bytes at a time. This is syndrome S0
+/// (the weight-1 dot product) of any codeword.
+[[nodiscard]] std::uint8_t xor_fold_span(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// sum_i mul(weights[i], data[i]) — branchless table-driven dot product.
+/// Spans must be equal length.
+[[nodiscard]] std::uint8_t dot_span(std::span<const std::uint8_t> weights,
+                                    std::span<const std::uint8_t> data) noexcept;
 
 }  // namespace rxl::gf256

@@ -47,8 +47,11 @@ class FlitFec {
   /// flit[250..255]. `flit` must be a full 256 B flit image.
   void encode(std::span<std::uint8_t> flit) const;
 
-  /// Decodes (correcting in place) a full 256 B flit image. On
-  /// kDetectedUncorrectable the protected region may retain partial
+  /// Decodes (correcting in place) a full 256 B flit image. Runs zero-copy:
+  /// each lane is screened with a strided syndrome pass over the wire image
+  /// and only lanes with nonzero syndromes get the single-error analysis —
+  /// the (overwhelmingly common) clean path never copies or writes a byte.
+  /// On kDetectedUncorrectable the protected region may retain partial
   /// corrections from the sub-blocks that decoded cleanly; callers that
   /// drop the flit (switches) don't care, and endpoint CRC catches the rest.
   [[nodiscard]] FecDecodeResult decode(std::span<std::uint8_t> flit) const;

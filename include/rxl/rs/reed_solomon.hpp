@@ -66,10 +66,54 @@ class ReedSolomon {
 
   /// Computes the 2t syndromes of a codeword; all-zero means "accepted".
   /// Exposed for tests and for the analytical miscorrection model.
+  /// Table-driven: S0 is a 64-bit XOR fold and each further syndrome is a
+  /// branchless dot product against a precomputed weight row.
   void syndromes(std::span<const std::uint8_t> codeword,
                  std::span<std::uint8_t> out) const;
 
+  /// Generic log/exp Horner syndromes — the semantic reference the
+  /// table-driven path is tested against (tests/test_reed_solomon.cpp).
+  void syndromes_reference(std::span<const std::uint8_t> codeword,
+                           std::span<std::uint8_t> out) const;
+
+  /// Reference LFSR encode using only scalar field ops — what `encode`'s
+  /// table/unrolled paths must agree with byte-for-byte.
+  void encode_reference(std::span<const std::uint8_t> data,
+                        std::span<std::uint8_t> parity) const;
+
+  /// Syndromes of a codeword whose symbols live at `stride`-byte steps:
+  /// symbol b is base[b * stride]. With stride == 1 this is `syndromes`.
+  /// Lets interleaved callers (FlitFec) screen sub-blocks directly on the
+  /// wire image without a gather copy.
+  void syndromes_strided(const std::uint8_t* base, std::size_t stride,
+                         std::span<std::uint8_t> out) const;
+
+  /// Encodes a codeword stored at `stride`-byte steps: reads data symbol i
+  /// from base[i * stride] and writes parity symbol i to
+  /// base[(k + i) * stride].
+  void encode_strided(std::uint8_t* base, std::size_t stride) const;
+
+  /// Verdict of the 2-parity single-error analysis, position reported as a
+  /// buffer index so strided callers can map it back to their layout.
+  struct SingleVerdict {
+    DecodeStatus status = DecodeStatus::kDetectedUncorrectable;
+    std::size_t buffer_index = 0;  ///< valid only when status == kCorrected
+    std::uint8_t magnitude = 0;    ///< XOR patch, valid only when corrected
+  };
+
+  /// Classifies nonzero syndromes (s0, s1) of a 2-parity code under the
+  /// single-error hypothesis, including the shortened-position detection of
+  /// §2.5. Shared by decode() and the FlitFec zero-copy path so both apply
+  /// the exact same verdict logic. Requires parity_symbols() == 2 and
+  /// (s0, s1) != (0, 0).
+  [[nodiscard]] SingleVerdict classify_single(std::uint8_t s0,
+                                              std::uint8_t s1) const;
+
  private:
+  void encode_impl(const std::uint8_t* data, std::size_t data_stride,
+                   std::uint8_t* parity, std::size_t parity_stride) const;
+  void syndromes_impl(const std::uint8_t* base, std::size_t stride,
+                      std::span<std::uint8_t> out) const;
   [[nodiscard]] DecodeResult decode_single(std::span<std::uint8_t> codeword,
                                            std::uint8_t s0,
                                            std::uint8_t s1) const;
@@ -83,6 +127,10 @@ class ReedSolomon {
   /// Row f (r_ bytes) holds f * generator_[i] for every feedback value f,
   /// so the encode LFSR is pure table lookups on the hot path.
   std::vector<std::uint8_t> generator_mul_;
+  /// r_ rows of n = k_ + r_ syndrome weights, row j holding
+  /// W[j][b] = alpha^(j * (n - 1 - b)) so S_j = sum_b W[j][b] * codeword[b]
+  /// is a straight dot product (row 0 is all ones: S0 is a plain XOR fold).
+  std::vector<std::uint8_t> syndrome_weights_;
 };
 
 }  // namespace rxl::rs

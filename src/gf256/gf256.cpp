@@ -1,11 +1,81 @@
 #include "rxl/gf256/gf256.hpp"
 
+#include <cassert>
+#include <cstring>
+
 namespace rxl::gf256 {
 
 std::uint8_t poly_eval(std::span<const std::uint8_t> poly,
                        std::uint8_t x) noexcept {
   std::uint8_t acc = 0;
   for (std::size_t i = poly.size(); i-- > 0;) acc = add(mul(acc, x), poly[i]);
+  return acc;
+}
+
+void add_span(std::span<std::uint8_t> dst,
+              std::span<const std::uint8_t> src) noexcept {
+  assert(dst.size() == src.size());
+  std::uint8_t* __restrict d = dst.data();
+  const std::uint8_t* __restrict s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= s[i];
+}
+
+void mul_span(std::span<std::uint8_t> dst, std::uint8_t c) noexcept {
+  if (c == 1) return;
+  if (c == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  const std::size_t row = std::size_t{c} * 16;
+  std::uint8_t* __restrict d = dst.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = detail::mul_nib(row, d[i]);
+}
+
+void mul_add_span(std::span<std::uint8_t> dst,
+                  std::span<const std::uint8_t> src, std::uint8_t c) noexcept {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    add_span(dst, src);
+    return;
+  }
+  const std::size_t row = std::size_t{c} * 16;
+  std::uint8_t* __restrict d = dst.data();
+  const std::uint8_t* __restrict s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= detail::mul_nib(row, s[i]);
+}
+
+std::uint8_t xor_fold_span(std::span<const std::uint8_t> data) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t acc64 = 0;
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    acc64 ^= chunk;
+    p += 8;
+    n -= 8;
+  }
+  acc64 ^= acc64 >> 32;
+  acc64 ^= acc64 >> 16;
+  acc64 ^= acc64 >> 8;
+  auto acc = static_cast<std::uint8_t>(acc64);
+  while (n-- > 0) acc ^= *p++;
+  return acc;
+}
+
+std::uint8_t dot_span(std::span<const std::uint8_t> weights,
+                      std::span<const std::uint8_t> data) noexcept {
+  assert(weights.size() == data.size());
+  const std::uint8_t* __restrict w = weights.data();
+  const std::uint8_t* __restrict s = data.data();
+  const std::size_t n = data.size();
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc ^= detail::mul_nib(std::size_t{w[i]} * 16, s[i]);
   return acc;
 }
 

@@ -3,7 +3,6 @@
 #include <cassert>
 
 namespace rxl::rs {
-namespace {
 
 // The whole 256 B wire image is 3-way byte-interleaved: wire byte j belongs
 // to lane j % 3. This covers the parity bytes too — lane 0's codeword is
@@ -11,58 +10,41 @@ namespace {
 // plus flit[250,253], lane 2 is flit[2,...,248] plus flit[251,254] — so ANY
 // contiguous wire burst of up to 3 bytes lands at most once per lane, the
 // property §2.5's correction claim rests on.
-
-std::size_t gather(std::span<const std::uint8_t> flit, std::size_t lane,
-                   std::span<std::uint8_t> out) {
-  std::size_t count = 0;
-  for (std::size_t j = lane; j < kFlitBytes; j += 3) out[count++] = flit[j];
-  return count;
-}
-
-void scatter(std::span<std::uint8_t> flit, std::size_t lane,
-             std::span<const std::uint8_t> in) {
-  std::size_t count = 0;
-  for (std::size_t j = lane; j < kFlitBytes; j += 3) flit[j] = in[count++];
-}
-
-}  // namespace
+//
+// Because lane L's codeword symbol b sits at wire byte L + 3*b (parity
+// included), both encode and decode run *in place* on the wire image with
+// the strided ReedSolomon entry points: no gather/scatter copies exist on
+// any path. Decode screens each lane with a strided syndrome pass first;
+// lanes with zero syndromes are untouched, and a dirty lane's single-error
+// verdict maps straight back to a wire offset.
 
 FlitFec::FlitFec() : code84_(84, 2), code83_(83, 2) {}
 
 void FlitFec::encode(std::span<std::uint8_t> flit) const {
   assert(flit.size() == kFlitBytes);
-  std::uint8_t scratch[86 + 2];
   for (std::size_t lane = 0; lane < 3; ++lane) {
-    const std::size_t k = sub_block_data_bytes(lane);
-    const std::size_t total = gather(flit, lane, scratch);
-    assert(total == k + 2);
-    (void)total;
     const ReedSolomon& code = (lane == 0) ? code84_ : code83_;
-    code.encode(std::span<const std::uint8_t>(scratch, k),
-                std::span<std::uint8_t>(scratch + k, 2));
-    scatter(flit, lane, std::span<const std::uint8_t>(scratch, k + 2));
+    code.encode_strided(flit.data() + lane, 3);
   }
 }
 
 FecDecodeResult FlitFec::decode(std::span<std::uint8_t> flit) const {
   assert(flit.size() == kFlitBytes);
   FecDecodeResult result;
-  std::uint8_t scratch[86 + 2];
   for (std::size_t lane = 0; lane < 3; ++lane) {
-    const std::size_t k = sub_block_data_bytes(lane);
-    const std::size_t total = gather(flit, lane, scratch);
-    assert(total == k + 2);
-    (void)total;
     const ReedSolomon& code = (lane == 0) ? code84_ : code83_;
-    const DecodeResult sub =
-        code.decode(std::span<std::uint8_t>(scratch, k + 2));
-    result.sub_block[lane] = sub.status;
-    result.corrected_symbols += sub.corrected_symbols;
-    if (sub.status == DecodeStatus::kCorrected) {
-      scatter(flit, lane, std::span<const std::uint8_t>(scratch, k + 2));
+    std::uint8_t syn[2];
+    code.syndromes_strided(flit.data() + lane, 3, syn);
+    if ((syn[0] | syn[1]) == 0) continue;  // clean lane: kClean default stands
+    const ReedSolomon::SingleVerdict verdict =
+        code.classify_single(syn[0], syn[1]);
+    result.sub_block[lane] = verdict.status;
+    if (verdict.status == DecodeStatus::kCorrected) {
+      flit[lane + 3 * verdict.buffer_index] ^= verdict.magnitude;
+      result.corrected_symbols += 1;
       if (result.status == DecodeStatus::kClean)
         result.status = DecodeStatus::kCorrected;
-    } else if (sub.status == DecodeStatus::kDetectedUncorrectable) {
+    } else {
       result.status = DecodeStatus::kDetectedUncorrectable;
     }
   }

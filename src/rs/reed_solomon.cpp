@@ -32,31 +32,141 @@ ReedSolomon::ReedSolomon(std::size_t data_symbols, std::size_t parity_symbols)
           gf::mul(static_cast<std::uint8_t>(f), generator_[i]);
     }
   }
+  // Syndrome weight rows: W[j][b] = alpha^(j * (n - 1 - b)). Walk each row
+  // from b = n-1 down so the exponent grows by j per step; a conditional
+  // subtract keeps it in [0, 255) with no `%` in the loop.
+  const std::size_t n = k_ + r_;
+  syndrome_weights_.resize(r_ * n);
+  for (unsigned j = 0; j < r_; ++j) {
+    std::uint8_t* row = &syndrome_weights_[std::size_t{j} * n];
+    unsigned exponent = 0;
+    for (std::size_t b = n; b-- > 0;) {
+      row[b] = gf::alpha_pow_unreduced(exponent);
+      exponent += j;
+      if (exponent >= gf::kGroupOrder) exponent -= gf::kGroupOrder;
+    }
+  }
 }
 
-void ReedSolomon::encode(std::span<const std::uint8_t> data,
-                         std::span<std::uint8_t> parity) const {
-  assert(data.size() == k_);
-  assert(parity.size() == r_);
+void ReedSolomon::encode_impl(const std::uint8_t* data,
+                              std::size_t data_stride, std::uint8_t* parity,
+                              std::size_t parity_stride) const {
   // Systematic encoding: parity = (m(x) * x^r) mod g(x), computed with the
   // standard LFSR long division. reg[i] holds the coefficient of degree i.
+  // Buffer order is descending degree (data-first layout): parity[0] is the
+  // highest-degree remainder coefficient.
+  if (r_ == 2) {
+    // Closed-form 2-parity encode. The systematic parity (p0, p1) is the
+    // unique pair zeroing both syndromes of data||p0||p1:
+    //   S0 = D0 ^ p0 ^ p1                 = 0
+    //   S1 = D1 ^ mul(p0, alpha) ^ p1     = 0
+    // with D0 the XOR fold of the data and D1 its dot product against
+    // syndrome weight row 1 restricted to the data positions. Adding the
+    // equations gives p0 * (1 ^ alpha) = D0 ^ D1. This replaces the serial
+    // data-dependent LFSR recurrence with two batch reductions.
+    const std::uint8_t* w1 = &syndrome_weights_[k_ + r_];  // row 1
+    std::uint8_t d0 = 0;
+    std::uint8_t d1 = 0;
+    if (data_stride == 1) {
+      d0 = gf::xor_fold_span({data, k_});
+      d1 = gf::dot_span({w1, k_}, {data, k_});
+    } else {
+      for (std::size_t b = 0; b < k_; ++b) {
+        const std::uint8_t c = data[b * data_stride];
+        d0 ^= c;
+        d1 ^= gf::detail::mul_nib(std::size_t{w1[b]} * 16, c);
+      }
+    }
+    // inv(1 ^ alpha) is a constant of the field, not of the geometry.
+    constexpr std::uint8_t kInvOnePlusAlpha =
+        gf::inv(gf::add(1, gf::alpha_pow(1)));
+    const std::uint8_t p0 =
+        gf::mul(static_cast<std::uint8_t>(d0 ^ d1), kInvOnePlusAlpha);
+    parity[0] = p0;
+    parity[parity_stride] = static_cast<std::uint8_t>(d0 ^ p0);
+    return;
+  }
   std::uint8_t reg[64] = {};
   assert(r_ <= 64);
-  for (const std::uint8_t symbol : data) {
-    const std::uint8_t feedback = gf::add(symbol, reg[r_ - 1]);
+  for (std::size_t s = 0; s < k_; ++s) {
+    const std::uint8_t feedback =
+        gf::add(data[s * data_stride], reg[r_ - 1]);
     const std::uint8_t* row = &generator_mul_[std::size_t{feedback} * r_];
     for (std::size_t i = r_ - 1; i > 0; --i) {
       reg[i] = gf::add(reg[i - 1], row[i]);
     }
     reg[0] = row[0];
   }
-  // Buffer order is descending degree (data-first layout): parity[0] is the
-  // highest-degree remainder coefficient.
+  for (std::size_t i = 0; i < r_; ++i)
+    parity[i * parity_stride] = reg[r_ - 1 - i];
+}
+
+void ReedSolomon::encode(std::span<const std::uint8_t> data,
+                         std::span<std::uint8_t> parity) const {
+  assert(data.size() == k_);
+  assert(parity.size() == r_);
+  encode_impl(data.data(), 1, parity.data(), 1);
+}
+
+void ReedSolomon::encode_strided(std::uint8_t* base,
+                                 std::size_t stride) const {
+  encode_impl(base, stride, base + k_ * stride, stride);
+}
+
+void ReedSolomon::encode_reference(std::span<const std::uint8_t> data,
+                                   std::span<std::uint8_t> parity) const {
+  assert(data.size() == k_);
+  assert(parity.size() == r_);
+  std::uint8_t reg[64] = {};
+  assert(r_ <= 64);
+  for (const std::uint8_t symbol : data) {
+    const std::uint8_t feedback = gf::add(symbol, reg[r_ - 1]);
+    for (std::size_t i = r_ - 1; i > 0; --i)
+      reg[i] = gf::add(reg[i - 1], gf::mul(feedback, generator_[i]));
+    reg[0] = gf::mul(feedback, generator_[0]);
+  }
   for (std::size_t i = 0; i < r_; ++i) parity[i] = reg[r_ - 1 - i];
+}
+
+void ReedSolomon::syndromes_impl(const std::uint8_t* base, std::size_t stride,
+                                 std::span<std::uint8_t> out) const {
+  const std::size_t n = k_ + r_;
+  // S0: weight row 0 is all ones, so the dot product collapses to an XOR
+  // fold — 8 bytes at a time when the codeword is contiguous.
+  if (stride == 1) {
+    out[0] = gf::xor_fold_span({base, n});
+  } else {
+    std::uint8_t acc = 0;
+    for (std::size_t b = 0; b < n; ++b) acc ^= base[b * stride];
+    out[0] = acc;
+  }
+  // Each further syndrome is one weighted dot product — for the SSC r == 2
+  // configuration the loop body runs exactly once.
+  for (unsigned j = 1; j < r_; ++j) {
+    const std::uint8_t* __restrict w = &syndrome_weights_[std::size_t{j} * n];
+    std::uint8_t acc = 0;
+    for (std::size_t b = 0; b < n; ++b)
+      acc ^= gf::detail::mul_nib(std::size_t{w[b]} * 16, base[b * stride]);
+    out[j] = acc;
+  }
 }
 
 void ReedSolomon::syndromes(std::span<const std::uint8_t> codeword,
                             std::span<std::uint8_t> out) const {
+  assert(codeword.size() == k_ + r_);
+  assert(out.size() == r_);
+  syndromes_impl(codeword.data(), 1, out);
+}
+
+void ReedSolomon::syndromes_strided(const std::uint8_t* base,
+                                    std::size_t stride,
+                                    std::span<std::uint8_t> out) const {
+  assert(out.size() == r_);
+  syndromes_impl(base, stride, out);
+}
+
+void ReedSolomon::syndromes_reference(std::span<const std::uint8_t> codeword,
+                                      std::span<std::uint8_t> out) const {
   assert(codeword.size() == k_ + r_);
   assert(out.size() == r_);
   const std::size_t n = k_ + r_;
@@ -84,23 +194,37 @@ DecodeResult ReedSolomon::decode(std::span<std::uint8_t> codeword) const {
   return decode_general(codeword, syn);
 }
 
-DecodeResult ReedSolomon::decode_single(std::span<std::uint8_t> codeword,
-                                        std::uint8_t s0,
-                                        std::uint8_t s1) const {
+ReedSolomon::SingleVerdict ReedSolomon::classify_single(
+    std::uint8_t s0, std::uint8_t s1) const {
+  assert(r_ == 2);
+  assert(s0 != 0 || s1 != 0);
   // Single-error hypothesis for a 2-parity code with roots alpha^0, alpha^1:
   //   S0 = e, S1 = e * alpha^degree.
   // Both syndromes must be nonzero and the implied degree must fall inside
   // the shortened codeword; otherwise the error is detected-uncorrectable.
-  if (s0 == 0 || s1 == 0) return {DecodeStatus::kDetectedUncorrectable, 0};
+  SingleVerdict verdict;
+  if (s0 == 0 || s1 == 0) return verdict;
   const unsigned degree = gf::log(gf::div(s1, s0));
   const std::size_t n = k_ + r_;
   if (degree >= n) {
     // Correction targets a zero-padded (shortened) position: provably a
     // multi-symbol error. This is the detection mechanism of §2.5.
-    return {DecodeStatus::kDetectedUncorrectable, 0};
+    return verdict;
   }
-  const std::size_t buffer_index = n - 1 - degree;
-  codeword[buffer_index] = gf::add(codeword[buffer_index], s0);
+  verdict.status = DecodeStatus::kCorrected;
+  verdict.buffer_index = n - 1 - degree;
+  verdict.magnitude = s0;
+  return verdict;
+}
+
+DecodeResult ReedSolomon::decode_single(std::span<std::uint8_t> codeword,
+                                        std::uint8_t s0,
+                                        std::uint8_t s1) const {
+  const SingleVerdict verdict = classify_single(s0, s1);
+  if (verdict.status != DecodeStatus::kCorrected)
+    return {DecodeStatus::kDetectedUncorrectable, 0};
+  codeword[verdict.buffer_index] =
+      gf::add(codeword[verdict.buffer_index], verdict.magnitude);
   return {DecodeStatus::kCorrected, 1};
 }
 
@@ -149,11 +273,16 @@ DecodeResult ReedSolomon::decode_general(
 
   // --- Chien search over *all* 255 candidate degrees. Roots landing in the
   // shortened region (degree >= n) expose the error as uncorrectable. ---
+  // The candidate point for degree d is X^-1 = alpha^(255 - d); instead of
+  // recomputing it (and its mod-255 reduction) per iteration, walk it down
+  // with one multiply by alpha^-1 per step.
   std::vector<unsigned> error_degrees;
+  const std::uint8_t inv_alpha = gf::alpha_pow_unreduced(gf::kGroupOrder - 1);
+  std::uint8_t x_inv = 1;  // alpha^255 == alpha^0, the degree-0 candidate
   for (unsigned degree = 0; degree < gf::kGroupOrder; ++degree) {
     // sigma has a root at X^-1 where X = alpha^degree.
-    const std::uint8_t x_inv = gf::alpha_pow(gf::kGroupOrder - degree % gf::kGroupOrder);
     if (gf::poly_eval(sigma, x_inv) == 0) error_degrees.push_back(degree);
+    x_inv = gf::mul(x_inv, inv_alpha);
   }
   if (error_degrees.size() != locator_degree)
     return {DecodeStatus::kDetectedUncorrectable, 0};
@@ -178,13 +307,13 @@ DecodeResult ReedSolomon::decode_general(
   corrections.reserve(error_degrees.size());
   for (const unsigned degree : error_degrees) {
     const std::uint8_t x = gf::alpha_pow(degree);
-    const std::uint8_t x_inv = gf::inv(x);
-    const std::uint8_t denom = gf::poly_eval(sigma_deriv, x_inv);
+    const std::uint8_t x_inv_point = gf::inv(x);
+    const std::uint8_t denom = gf::poly_eval(sigma_deriv, x_inv_point);
     if (denom == 0) return {DecodeStatus::kDetectedUncorrectable, 0};
     // First generator root is alpha^0 (b = 0), so the Forney multiplier is
     // X^(1-b) = X.
     const std::uint8_t magnitude =
-        gf::mul(x, gf::div(gf::poly_eval(omega, x_inv), denom));
+        gf::mul(x, gf::div(gf::poly_eval(omega, x_inv_point), denom));
     corrections.emplace_back(n - 1 - degree, magnitude);
   }
   for (const auto& [index, magnitude] : corrections)

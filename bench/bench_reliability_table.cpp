@@ -10,6 +10,7 @@
 
 #include "rxl/analysis/reliability_model.hpp"
 #include "rxl/sim/stats.hpp"
+#include "rxl/sim/trial_runner.hpp"
 #include "rxl/transport/fabric.hpp"
 
 using namespace rxl;
@@ -66,10 +67,14 @@ void monte_carlo_section() {
   sim::TextTable table({"protocol", "flits delivered", "drops@switch",
                         "drop rate", "predicted", "order fails", "order rate",
                         "predicted", "dups", "missing"});
-  for (const auto protocol :
-       {transport::Protocol::kCxl, transport::Protocol::kRxl}) {
+  // The two protocol sims are independent Monte Carlo trials; shard them
+  // across workers (RXL_TRIAL_WORKERS overrides) and merge in protocol
+  // order, so this table is byte-identical at any worker count.
+  constexpr transport::Protocol kProtocols[] = {transport::Protocol::kCxl,
+                                                transport::Protocol::kRxl};
+  const auto reports = sim::run_trials(2, [&](std::size_t trial) {
     transport::FabricConfig config;
-    config.protocol.protocol = protocol;
+    config.protocol.protocol = kProtocols[trial];
     config.protocol.coalesce_factor = 10;
     config.switch_levels = 1;
     config.burst_injection_rate = kRate;
@@ -77,7 +82,11 @@ void monte_carlo_section() {
     config.downstream_flits = 400'000;
     config.upstream_flits = 400'000;
     config.horizon = 1'800'000'000;  // 1.8 ms
-    const auto report = transport::run_fabric(config);
+    return transport::run_fabric(config);
+  });
+  for (std::size_t trial = 0; trial < reports.size(); ++trial) {
+    const transport::Protocol protocol = kProtocols[trial];
+    const auto& report = reports[trial];
 
     const auto& board = report.downstream.scoreboard;
     const auto& up = report.upstream.scoreboard;

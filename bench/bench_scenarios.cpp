@@ -7,6 +7,7 @@
 #include "rxl/flit/message_pack.hpp"
 #include "rxl/phy/error_model.hpp"
 #include "rxl/sim/stats.hpp"
+#include "rxl/sim/trial_runner.hpp"
 #include "rxl/switchdev/switch_device.hpp"
 #include "rxl/transport/endpoint.hpp"
 #include "rxl/txn/scoreboard.hpp"
@@ -109,23 +110,35 @@ int main() {
   sim::TextTable table({"scenario", "protocol", "delivery order",
                         "order fails", "dups", "late", "missing",
                         "dup req exec", "ooo data"});
-  for (const auto kind :
-       {flit::MessageKind::kRequest, flit::MessageKind::kData}) {
-    const char* scenario = kind == flit::MessageKind::kRequest
+  // Four independent traces (scenario x protocol), sharded across workers
+  // and merged in the fixed table order.
+  struct TraceCase {
+    flit::MessageKind kind;
+    transport::Protocol protocol;
+  };
+  constexpr TraceCase kCases[] = {
+      {flit::MessageKind::kRequest, transport::Protocol::kCxl},
+      {flit::MessageKind::kRequest, transport::Protocol::kRxl},
+      {flit::MessageKind::kData, transport::Protocol::kCxl},
+      {flit::MessageKind::kData, transport::Protocol::kRxl},
+  };
+  const auto results = sim::run_trials(4, [&](std::size_t trial) {
+    return run_trace(kCases[trial].protocol, kCases[trial].kind);
+  });
+  for (std::size_t trial = 0; trial < results.size(); ++trial) {
+    const TraceCase& trace = kCases[trial];
+    const TraceResult& result = results[trial];
+    const char* scenario = trace.kind == flit::MessageKind::kRequest
                                ? "Fig. 5a (requests)"
                                : "Fig. 5b (same-CQID data)";
-    for (const auto protocol :
-         {transport::Protocol::kCxl, transport::Protocol::kRxl}) {
-      const TraceResult result = run_trace(protocol, kind);
-      table.add_row({scenario, transport::protocol_name(protocol),
-                     order_string(result.delivery_order),
-                     std::to_string(result.stream.order_violations),
-                     std::to_string(result.stream.duplicates),
-                     std::to_string(result.stream.late_deliveries),
-                     std::to_string(result.stream.missing),
-                     std::to_string(result.txn.duplicate_executions),
-                     std::to_string(result.txn.out_of_order_data)});
-    }
+    table.add_row({scenario, transport::protocol_name(trace.protocol),
+                   order_string(result.delivery_order),
+                   std::to_string(result.stream.order_violations),
+                   std::to_string(result.stream.duplicates),
+                   std::to_string(result.stream.late_deliveries),
+                   std::to_string(result.stream.missing),
+                   std::to_string(result.txn.duplicate_executions),
+                   std::to_string(result.txn.out_of_order_data)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Captures the performance-tracking artifacts that EXPERIMENTS.md records:
-#   * bench_codec_micro google-benchmark JSON
+#   * bench_codec_micro / bench_sim_micro google-benchmark JSON
 #   * wall-clock of the two slow fabric Monte Carlo suites + the full ctest run
-#   * bench_reliability_table stdout (reproduced paper numbers; must stay
-#     diff-clean across perf work)
+#   * the deterministic table reproductions (reliability, bandwidth,
+#     ablation, fig8 fit, hw overhead); these reproduce paper numbers and
+#     must stay diff-clean across perf work
 #
 # Usage: bench/capture_benchmarks.sh [output-dir]   (default: bench/captures)
 # Run from the repo root with an existing -O3 build in ./build
 # (cmake --preset release && cmake --build build -j). Compare two captures
-# with plain `diff -u old/ new/` — reliability_table.txt must not change;
-# codec_micro.json and suite_times.txt are the perf numbers.
+# with plain `diff -u old/ new/` — the *_table/ablation/fig8/hw_overhead
+# text files must not change; the *.json and suite_times.txt files are the
+# perf numbers. RXL_TRIAL_WORKERS shards the Monte Carlo tables' trials
+# without affecting their bytes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,15 +26,22 @@ if [[ ! -x "$build_dir/bench/bench_codec_micro" ]]; then
   exit 1
 fi
 
-echo "== bench_codec_micro -> $out_dir/codec_micro.json"
-"$build_dir/bench/bench_codec_micro" \
-  --benchmark_out="$out_dir/codec_micro.json" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true
+for micro in codec_micro sim_micro; do
+  echo "== bench_$micro -> $out_dir/$micro.json"
+  "$build_dir/bench/bench_$micro" \
+    --benchmark_out="$out_dir/$micro.json" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true
+done
 
-echo "== bench_reliability_table -> $out_dir/reliability_table.txt"
-"$build_dir/bench/bench_reliability_table" > "$out_dir/reliability_table.txt"
+# Deterministic table reproductions: byte-stable across perf work, so any
+# diff in these files is a behaviour change, not noise.
+for table in reliability_table bandwidth_table ablation fig8_fit \
+             hw_overhead scenarios; do
+  echo "== bench_$table -> $out_dir/$table.txt"
+  "$build_dir/bench/bench_$table" > "$out_dir/$table.txt"
+done
 
 echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
 {

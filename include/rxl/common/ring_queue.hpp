@@ -1,0 +1,59 @@
+// Minimal power-of-two ring-buffer FIFO.
+//
+// Exists so simulation components can park bulky in-flight values (256 B
+// flit envelopes) outside the event heap: the scheduled event captures only
+// the component pointer and pops the front when it fires. Capacity grows
+// geometrically and slots are reused, so steady-state traffic allocates
+// nothing. FIFO order matches event order because each component's
+// deliveries are scheduled at non-decreasing timestamps under the kernel's
+// FIFO tie-break.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rxl {
+
+template <typename T>
+class RingQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(value);
+    ++count_;
+  }
+
+  [[nodiscard]] T& front() noexcept {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+
+  T pop_front() {
+    assert(count_ > 0);
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+    return value;
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  ///< size is always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace rxl

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "rxl/common/ring_queue.hpp"
 #include "rxl/common/rng.hpp"
 #include "rxl/common/types.hpp"
 #include "rxl/flit/flit.hpp"
@@ -78,6 +79,8 @@ class LinkChannel {
   [[nodiscard]] TimePs slot() const noexcept { return slot_; }
 
  private:
+  void deliver_front();
+
   EventQueue& queue_;
   std::unique_ptr<phy::ErrorModel> errors_;
   Xoshiro256 rng_;
@@ -85,6 +88,11 @@ class LinkChannel {
   TimePs latency_;
   TimePs next_free_ = 0;
   DeliverFn deliver_;
+  /// Flits on the wire, in delivery order. Per-channel delivery times are
+  /// strictly increasing (slot end is monotonic, latency constant), so the
+  /// scheduled [this] events pop this FIFO in exactly the order the heap
+  /// fires them — and the 256 B envelope never rides inside an event.
+  RingQueue<FlitEnvelope> in_flight_;
   ChannelStats stats_;
 };
 

@@ -1,0 +1,68 @@
+// First-class cancellable/reschedulable one-shot timer.
+//
+// Endpoint retry/ack/nack deadlines used to be one-shot closures pushed
+// through the event heap on every (re)arm. A Timer stores its callback once
+// at construction; arming pushes only a 16-byte {timer, generation} record,
+// and cancel/rearm are generation bumps (lazy deletion — a stale heap entry
+// no-ops when popped, it is never searched for or removed early).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "rxl/sim/event_queue.hpp"
+
+namespace rxl::sim {
+
+/// One-shot deadline bound to an EventQueue. Arming while armed reschedules
+/// (the superseded deadline never fires). The Timer must outlive any queue
+/// run that could pop one of its pending entries.
+class Timer {
+ public:
+  template <typename F>
+  Timer(EventQueue& queue, F&& callback)
+      : queue_(queue), callback_(std::forward<F>(callback)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer to fire at now() + delay.
+  void arm(TimePs delay) { arm_at(queue_.now() + delay); }
+
+  /// Arms (or re-arms) the timer to fire at an absolute timestamp.
+  void arm_at(TimePs when) {
+    ++generation_;  // invalidate any pending deadline
+    armed_ = true;
+    deadline_ = when;
+    queue_.schedule_at(when, Fire{this, generation_});
+  }
+
+  /// Disarms without firing. No-op when idle.
+  void cancel() noexcept {
+    ++generation_;
+    armed_ = false;
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  /// Deadline of the last arm; meaningful only while armed().
+  [[nodiscard]] TimePs deadline() const noexcept { return deadline_; }
+
+ private:
+  struct Fire {
+    Timer* timer;
+    std::uint64_t generation;
+    void operator()() const {
+      if (!timer->armed_ || generation != timer->generation_) return;  // stale
+      timer->armed_ = false;  // cleared before the callback so it may re-arm
+      timer->callback_();
+    }
+  };
+
+  EventQueue& queue_;
+  InlineEvent callback_;
+  TimePs deadline_ = 0;
+  std::uint64_t generation_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace rxl::sim

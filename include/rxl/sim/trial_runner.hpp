@@ -1,0 +1,75 @@
+// Sharded Monte Carlo trial runner.
+//
+// The fabric sweeps are embarrassingly parallel: every trial builds its own
+// EventQueue/endpoint/rng universe from its trial index, so trials share no
+// mutable state and the merged result is a pure function of the indices.
+// run_trials shards the indices across std::thread workers and returns the
+// results in trial order — bit-identical output for any worker count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rxl::sim {
+
+/// Resolves the worker count for run_trials: an explicit `requested` > 0
+/// wins; else the RXL_TRIAL_WORKERS environment variable (the knob for
+/// single-core CI containers and for forcing 1-vs-N determinism checks);
+/// else std::thread::hardware_concurrency().
+[[nodiscard]] unsigned trial_workers(unsigned requested = 0);
+
+/// Runs `trials` independent trials and returns results[i] = trial(i) in
+/// trial-index order. `trial` must be invocable concurrently from several
+/// threads and must derive all randomness from its index argument (one
+/// simulation universe per trial — no shared mutable state). With one
+/// worker (or one trial) everything runs on the calling thread. The first
+/// exception thrown by a trial is rethrown after all workers join.
+template <typename TrialFn>
+auto run_trials(std::size_t trials, TrialFn&& trial, unsigned workers = 0)
+    -> std::vector<std::invoke_result_t<TrialFn&, std::size_t>> {
+  using Result = std::invoke_result_t<TrialFn&, std::size_t>;
+  static_assert(!std::is_same_v<Result, bool>,
+                "bool trials would land in the packed std::vector<bool>, "
+                "whose elements are not thread-safe to write concurrently — "
+                "return char/int instead");
+  std::vector<Result> results(trials);
+  const std::size_t spawn =
+      std::min<std::size_t>(trial_workers(workers), trials);
+  if (spawn <= 1) {
+    for (std::size_t i = 0; i < trials; ++i) results[i] = trial(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&]() noexcept {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials || abort.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = trial(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace rxl::sim

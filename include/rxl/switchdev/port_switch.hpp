@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rxl/common/ring_queue.hpp"
 #include "rxl/common/rng.hpp"
 #include "rxl/sim/link_channel.hpp"
 #include "rxl/transport/flit_codec.hpp"
@@ -55,11 +56,21 @@ class PortSwitch {
   [[nodiscard]] std::size_t ports() const noexcept { return outputs_.size(); }
 
  private:
+  /// A routed flit in the forwarding pipeline; the egress channel is
+  /// resolved at routing time, as before the ring existed.
+  struct PendingForward {
+    sim::FlitEnvelope envelope;
+    sim::LinkChannel* output = nullptr;
+  };
+
+  void forward_front();
+
   sim::EventQueue& queue_;
   Config config_;
   transport::FlitCodec codec_;
   Xoshiro256 rng_;
   std::vector<sim::LinkChannel*> outputs_;
+  RingQueue<PendingForward> forwarding_;  ///< FIFO: constant forward latency
   PortSwitchStats stats_;
 };
 

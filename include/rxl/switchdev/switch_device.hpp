@@ -13,8 +13,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "rxl/common/ring_queue.hpp"
 #include "rxl/common/rng.hpp"
 #include "rxl/sim/link_channel.hpp"
 #include "rxl/transport/flit_codec.hpp"
@@ -53,11 +53,16 @@ class SwitchDevice {
   [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
 
  private:
+  void forward_front();
+
   sim::EventQueue& queue_;
   Config config_;
   transport::FlitCodec codec_;
   Xoshiro256 rng_;
   sim::LinkChannel* output_ = nullptr;
+  /// Flits in the forwarding pipeline, in egress order (forward_latency is
+  /// constant, so scheduled events fire in FIFO order).
+  RingQueue<sim::FlitEnvelope> forwarding_;
   SwitchStats stats_;
 };
 

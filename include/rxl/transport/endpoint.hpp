@@ -28,6 +28,7 @@
 #include "rxl/link/sequence.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/link_channel.hpp"
+#include "rxl/sim/timer.hpp"
 #include "rxl/transport/config.hpp"
 #include "rxl/transport/flit_codec.hpp"
 
@@ -141,7 +142,7 @@ class Endpoint {
   std::uint64_t next_truth_index_ = 0;
   SourceFn source_;
   bool kick_scheduled_ = false;
-  bool retry_timer_armed_ = false;
+  sim::Timer retry_timer_;
   TimePs last_ack_progress_ = 0;
 
   // RX state.
@@ -149,10 +150,10 @@ class Endpoint {
   std::uint16_t last_verified_ = kSeqMask;  ///< CXL: last explicit-seq match
   bool any_verified_ = false;
   link::AckScheduler ack_scheduler_;
-  bool ack_timer_armed_ = false;
+  sim::Timer ack_timer_;
   bool nack_active_ = false;
   std::uint32_t nack_key_ = 0;
-  bool nack_timer_armed_ = false;
+  sim::Timer nack_timer_;
   TimePs last_rx_progress_ = 0;
   /// Ahead-of-window discards within the current resync episode; past a
   /// threshold the expected flit is declared unrecoverable (see

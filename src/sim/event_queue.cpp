@@ -1,44 +1,79 @@
 #include "rxl/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <utility>
 
 namespace rxl::sim {
 
-void EventQueue::schedule(TimePs delay, Action action) {
-  schedule_at(now_ + delay, std::move(action));
+// 4-ary implicit heap: children of i are 4i+1 .. 4i+4. Half the depth of a
+// binary heap, so hot schedule/dispatch paths touch fewer cache lines; the
+// wider min-of-children scan stays within one or two lines because Items
+// are exactly 64 bytes.
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void EventQueue::push_event(TimePs when, Event event) {
+  assert(when >= now_ && "EventQueue: event scheduled in the past");
+  if (when < now_) when = now_;  // release builds: clamp, never time-travel
+  Item item{when, next_order_++, event};
+  std::size_t hole = heap_.size();
+  heap_.push_back(item);  // reserve the slot; value overwritten below
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = item;
 }
 
-void EventQueue::schedule_at(TimePs when, Action action) {
-  assert(when >= now_);
-  heap_.push(Item{when, next_order_++, std::move(action)});
+EventQueue::Item EventQueue::pop_earliest() {
+  const Item top = heap_.front();
+  const Item last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift `last` down from the root.
+    const std::size_t size = heap_.size();
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first_child = hole * kArity + 1;
+      if (first_child >= size) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + kArity, size);
+      for (std::size_t child = first_child + 1; child < end; ++child) {
+        if (earlier(heap_[child], heap_[best])) best = child;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = last;
+  }
+  return top;
 }
 
 std::size_t EventQueue::run(std::size_t limit) {
   std::size_t executed = 0;
   while (!heap_.empty() && executed < limit) {
-    // priority_queue exposes only a const top(); moving out right before
-    // pop() is the standard pattern and safe because pop() never reads the
-    // moved-from action.
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
+    Item item = pop_earliest();
     now_ = item.when;
-    item.action();
+    item.event();
     ++executed;
   }
   return executed;
 }
 
 std::size_t EventQueue::run_until(TimePs until) {
+  assert(until >= now_ && "EventQueue: run_until into the past");
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().when <= until) {
+    Item item = pop_earliest();
     now_ = item.when;
-    item.action();
+    item.event();
     ++executed;
   }
-  now_ = until;
+  if (until > now_) now_ = until;  // never rewind (mirrors push_event)
   return executed;
 }
 

@@ -31,11 +31,14 @@ TimePs LinkChannel::send(FlitEnvelope envelope) {
   }
 
   // Delivery happens once the last bit has propagated.
-  queue_.schedule_at(end + latency_,
-                     [this, moved = std::move(envelope)]() mutable {
-                       if (deliver_) deliver_(std::move(moved));
-                     });
+  in_flight_.push_back(std::move(envelope));
+  queue_.schedule_at(end + latency_, [this] { deliver_front(); });
   return end;
+}
+
+void LinkChannel::deliver_front() {
+  FlitEnvelope envelope = in_flight_.pop_front();
+  if (deliver_) deliver_(std::move(envelope));
 }
 
 }  // namespace rxl::sim

@@ -1,0 +1,19 @@
+#include "rxl/sim/trial_runner.hpp"
+
+#include <cstdlib>
+
+namespace rxl::sim {
+
+unsigned trial_workers(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RXL_TRIAL_WORKERS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 4096)
+      return static_cast<unsigned>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace rxl::sim

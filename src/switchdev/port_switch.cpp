@@ -67,11 +67,13 @@ void PortSwitch::on_flit(sim::FlitEnvelope&& envelope) {
     return;
   }
   stats_.flits_forwarded += 1;
-  sim::LinkChannel* output = outputs_[port];
-  queue_.schedule(config_.forward_latency,
-                  [output, moved = std::move(envelope)]() mutable {
-                    output->send(std::move(moved));
-                  });
+  forwarding_.push_back(PendingForward{std::move(envelope), outputs_[port]});
+  queue_.schedule(config_.forward_latency, [this] { forward_front(); });
+}
+
+void PortSwitch::forward_front() {
+  PendingForward pending = forwarding_.pop_front();
+  pending.output->send(std::move(pending.envelope));
 }
 
 }  // namespace rxl::switchdev

@@ -78,10 +78,12 @@ void SwitchDevice::on_flit(sim::FlitEnvelope&& envelope) {
 
   stats_.flits_forwarded += 1;
   if (output_ == nullptr) return;
-  queue_.schedule(config_.forward_latency,
-                  [this, moved = std::move(envelope)]() mutable {
-                    output_->send(std::move(moved));
-                  });
+  forwarding_.push_back(std::move(envelope));
+  queue_.schedule(config_.forward_latency, [this] { forward_front(); });
+}
+
+void SwitchDevice::forward_front() {
+  output_->send(forwarding_.pop_front());
 }
 
 }  // namespace rxl::switchdev

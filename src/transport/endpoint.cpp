@@ -22,8 +22,11 @@ Endpoint::Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
       name_(std::move(name)),
       codec_(config.protocol),
       retry_buffer_(config.retry_buffer_capacity),
+      retry_timer_(queue, [this] { on_retry_timer(); }),
       last_verified_(kSeqMask),  // "-1": nothing verified yet
-      ack_scheduler_(config.coalesce_factor) {
+      ack_scheduler_(config.coalesce_factor),
+      ack_timer_(queue, [this] { on_ack_timer(); }),
+      nack_timer_(queue, [this] { on_nack_timer(); }) {
   if (config_.retry_mode == RetryMode::kSelectiveRepeat) {
     // §5: selective repeat needs explicit sequence numbers to place
     // out-of-order flits; ISN's pass/fail check cannot. This is the
@@ -184,13 +187,11 @@ void Endpoint::begin_replay_from(std::uint16_t seq) {
 }
 
 void Endpoint::arm_retry_timer() {
-  if (retry_timer_armed_ || config_.retry_timeout == 0) return;
-  retry_timer_armed_ = true;
-  queue_.schedule(config_.retry_timeout, [this] { on_retry_timer(); });
+  if (retry_timer_.armed() || config_.retry_timeout == 0) return;
+  retry_timer_.arm(config_.retry_timeout);
 }
 
 void Endpoint::on_retry_timer() {
-  retry_timer_armed_ = false;
   if (retry_buffer_.empty()) return;
   if (queue_.now() - last_ack_progress_ >= config_.retry_timeout) {
     // No ACK progress for a full timeout: assume a lost ACK/NACK and replay
@@ -205,13 +206,11 @@ void Endpoint::on_retry_timer() {
 }
 
 void Endpoint::arm_ack_timer() {
-  if (ack_timer_armed_ || config_.ack_timeout == 0) return;
-  ack_timer_armed_ = true;
-  queue_.schedule(config_.ack_timeout, [this] { on_ack_timer(); });
+  if (ack_timer_.armed() || config_.ack_timeout == 0) return;
+  ack_timer_.arm(config_.ack_timeout);
 }
 
 void Endpoint::on_ack_timer() {
-  ack_timer_armed_ = false;
   if (!ack_scheduler_.pending()) return;
   // No reverse data flit picked the ACK up in time: flush it standalone so
   // the peer's replay buffer does not stall.
@@ -441,13 +440,11 @@ void Endpoint::send_nack() {
 }
 
 void Endpoint::arm_nack_timer() {
-  if (nack_timer_armed_ || config_.nack_retransmit_timeout == 0) return;
-  nack_timer_armed_ = true;
-  queue_.schedule(config_.nack_retransmit_timeout, [this] { on_nack_timer(); });
+  if (nack_timer_.armed() || config_.nack_retransmit_timeout == 0) return;
+  nack_timer_.arm(config_.nack_retransmit_timeout);
 }
 
 void Endpoint::on_nack_timer() {
-  nack_timer_armed_ = false;
   if (!nack_active_) return;
   if (queue_.now() - last_rx_progress_ >= config_.nack_retransmit_timeout) {
     // Still waiting and nothing accepted since the NACK went out: the NACK

@@ -1,17 +1,15 @@
 #include "rxl/txn/scoreboard.hpp"
 
+#include "rxl/common/bytes.hpp"
 #include "rxl/flit/message_pack.hpp"
 
 namespace rxl::txn {
 namespace {
 
+// Corruption-detection hash of a 240 B payload: equality-only and
+// in-process, so the lane-wide FNV fold applies (see common/bytes.hpp).
 std::uint64_t payload_hash(std::span<const std::uint8_t> payload) noexcept {
-  std::uint64_t hash = 0xCBF29CE484222325ull;
-  for (const std::uint8_t byte : payload) {
-    hash ^= byte;
-    hash *= 0x100000001B3ull;
-  }
-  return hash;
+  return fnv1a64(payload);
 }
 
 }  // namespace

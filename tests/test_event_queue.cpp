@@ -2,7 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/sim/timer.hpp"
+#include "rxl/sim/trial_runner.hpp"
 
 namespace rxl::sim {
 namespace {
@@ -26,6 +35,29 @@ TEST(EventQueue, FifoTieBreak) {
   }
   queue.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, FifoTieBreakSurvivesInterleavedTimestamps) {
+  // Heavier determinism pin for the 4-ary heap: many events land on a few
+  // shared timestamps, pushed in shuffled timestamp order. Within each
+  // timestamp the execution order must equal the scheduling order, whatever
+  // shape the heap took on the way.
+  EventQueue queue;
+  Xoshiro256 rng(99);
+  std::vector<std::pair<TimePs, int>> executed;
+  std::vector<std::pair<TimePs, int>> expected;
+  std::vector<int> fifo_rank(7, 0);
+  for (int i = 0; i < 500; ++i) {
+    const TimePs when = 100 * (1 + rng.bounded(6));
+    const int rank = fifo_rank[when / 100]++;
+    expected.emplace_back(when, rank);
+    queue.schedule_at(when, [&executed, when, rank] {
+      executed.emplace_back(when, rank);
+    });
+  }
+  std::stable_sort(expected.begin(), expected.end());
+  EXPECT_EQ(queue.run(), 500u);
+  EXPECT_EQ(executed, expected);
 }
 
 TEST(EventQueue, NestedScheduling) {
@@ -53,6 +85,33 @@ TEST(EventQueue, RunUntilStopsAndAdvancesTime) {
   EXPECT_EQ(queue.now(), 100u);
 }
 
+TEST(EventQueue, RunUntilAdvancesTimeWhenDrainingEarly) {
+  // The horizon is authoritative even when the event queue empties first:
+  // time lands exactly on `until`, and later schedules are relative to it.
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(10, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(1'000'000), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.now(), 1'000'000u);
+  TimePs seen = 0;
+  queue.schedule(5, [&] { seen = queue.now(); });
+  queue.run();
+  EXPECT_EQ(seen, 1'000'005u);
+}
+
+#ifdef NDEBUG
+TEST(EventQueue, RunUntilIntoThePastNeverRewindsTime) {
+  EventQueue queue;
+  queue.schedule(100, [] {});
+  queue.run();
+  ASSERT_EQ(queue.now(), 100u);
+  EXPECT_EQ(queue.run_until(40), 0u);  // stale horizon: no-op
+  EXPECT_EQ(queue.now(), 100u);        // time did not rewind
+}
+#endif
+
 TEST(EventQueue, RunLimitBounds) {
   EventQueue queue;
   int fired = 0;
@@ -70,16 +129,168 @@ TEST(EventQueue, ScheduleAtAbsolute) {
   EXPECT_EQ(seen, 42u);
 }
 
+#ifdef NDEBUG
+TEST(EventQueue, ScheduleAtInThePastClampsToNow) {
+  // Regression: a past timestamp used to sit below now() in the heap and
+  // silently reorder (time travelled backwards when it popped). Release
+  // builds now clamp it to now(), AFTER everything already pending there.
+  EventQueue queue;
+  queue.schedule(10, [] {});
+  queue.run();
+  ASSERT_EQ(queue.now(), 10u);
+  std::vector<int> order;
+  TimePs clamped_at = 0;
+  queue.schedule_at(10, [&] { order.push_back(1); });  // legitimately at now
+  queue.schedule_at(3, [&] {                           // the past: clamp
+    order.push_back(2);
+    clamped_at = queue.now();
+  });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // FIFO at now(), not first
+  EXPECT_EQ(clamped_at, 10u);                  // never before the present
+  EXPECT_EQ(queue.now(), 10u);
+}
+#else
+TEST(EventQueueDeathTest, ScheduleAtInThePastAsserts) {
+  EventQueue queue;
+  queue.schedule(10, [] {});
+  queue.run();
+  ASSERT_EQ(queue.now(), 10u);
+  EXPECT_DEATH(queue.schedule_at(3, [] {}), "scheduled in the past");
+}
+#endif
+
 TEST(EventQueue, SelfPerpetuatingChainWithRunUntil) {
   EventQueue queue;
   int ticks = 0;
   std::function<void()> tick = [&] {
     ++ticks;
-    queue.schedule(10, tick);
+    queue.schedule(10, [&] { tick(); });  // by-reference: stays inline
   };
-  queue.schedule(0, tick);
+  queue.schedule(0, [&] { tick(); });
   queue.run_until(95);
   EXPECT_EQ(ticks, 10);  // t = 0,10,...,90
+}
+
+TEST(Timer, FiresOnceAtDeadline) {
+  EventQueue queue;
+  std::vector<TimePs> fires;
+  Timer timer(queue, [&] { fires.push_back(queue.now()); });
+  EXPECT_FALSE(timer.armed());
+  timer.arm(100);
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.deadline(), 100u);
+  queue.run();
+  EXPECT_EQ(fires, (std::vector<TimePs>{100}));
+  EXPECT_FALSE(timer.armed());  // one-shot: no rearm without arm()
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Timer, CancelSuppressesTheDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  Timer timer(queue, [&] { ++fired; });
+  timer.arm(100);
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  queue.run();  // the stale heap entry pops and must no-op
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(queue.now(), 100u);  // lazy deletion: the pop still advances time
+}
+
+TEST(Timer, RearmWhileArmedSupersedesTheOldDeadline) {
+  EventQueue queue;
+  std::vector<TimePs> fires;
+  Timer timer(queue, [&] { fires.push_back(queue.now()); });
+  timer.arm(100);
+  timer.arm(250);  // push the deadline out; the t=100 entry is now stale
+  EXPECT_EQ(timer.deadline(), 250u);
+  queue.run();
+  EXPECT_EQ(fires, (std::vector<TimePs>{250}));
+
+  timer.arm(100);
+  timer.arm(30);  // pull the deadline in
+  queue.run();
+  EXPECT_EQ(fires, (std::vector<TimePs>{250, 280}));
+}
+
+TEST(Timer, CallbackMayRearmItself) {
+  EventQueue queue;
+  int fired = 0;
+  // Endpoint-style periodic rearm: armed() is already false inside the
+  // callback, so arming again is the idiomatic self-perpetuating deadline.
+  struct Periodic {
+    EventQueue& queue;
+    Timer timer;
+    int* fired;
+    Periodic(EventQueue& q, int* f)
+        : queue(q), timer(q, [this] { fire(); }), fired(f) {}
+    void fire() {
+      ++*fired;
+      if (*fired < 5) timer.arm(10);
+    }
+  } periodic(queue, &fired);
+  periodic.timer.arm(10);
+  queue.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(queue.now(), 50u);
+}
+
+TEST(Timer, CancelThenRearmFiresAtTheNewDeadlineOnly) {
+  EventQueue queue;
+  std::vector<TimePs> fires;
+  Timer timer(queue, [&] { fires.push_back(queue.now()); });
+  timer.arm_at(40);
+  timer.cancel();
+  timer.arm_at(70);
+  queue.run();
+  EXPECT_EQ(fires, (std::vector<TimePs>{70}));
+}
+
+// A miniature stochastic simulation whose result folds in event timestamps
+// and execution order; any nondeterminism in scheduling or in the trial
+// sharding shows up as a checksum mismatch.
+std::uint64_t simulation_checksum(std::size_t trial) {
+  EventQueue queue;
+  Xoshiro256 rng(trial * 0x9E3779B97F4A7C15ull + 1);
+  std::uint64_t checksum = trial;
+  std::uint64_t sequence = 0;
+  for (int i = 0; i < 200; ++i) {
+    queue.schedule(rng.bounded(5'000), [&queue, &checksum, &sequence] {
+      checksum = checksum * 1099511628211ull ^ (queue.now() + ++sequence);
+    });
+  }
+  queue.run();
+  return checksum;
+}
+
+TEST(TrialRunner, ResultsAreWorkerCountInvariant) {
+  const auto serial = run_trials(16, simulation_checksum, /*workers=*/1);
+  const auto sharded = run_trials(16, simulation_checksum, /*workers=*/4);
+  ASSERT_EQ(serial.size(), 16u);
+  EXPECT_EQ(serial, sharded);
+  // More workers than trials must also merge identically.
+  EXPECT_EQ(serial, run_trials(16, simulation_checksum, /*workers=*/32));
+}
+
+TEST(TrialRunner, PropagatesTrialExceptions) {
+  auto trial = [](std::size_t i) -> int {
+    if (i == 3) throw std::runtime_error("trial 3 failed");
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(run_trials(8, trial, 4), std::runtime_error);
+  EXPECT_THROW(run_trials(8, trial, 1), std::runtime_error);
+}
+
+TEST(TrialRunner, WorkerCountResolution) {
+  EXPECT_EQ(trial_workers(3), 3u);  // explicit request wins
+  ASSERT_EQ(setenv("RXL_TRIAL_WORKERS", "5", 1), 0);
+  EXPECT_EQ(trial_workers(), 5u);
+  EXPECT_EQ(trial_workers(2), 2u);
+  ASSERT_EQ(setenv("RXL_TRIAL_WORKERS", "garbage", 1), 0);
+  EXPECT_GE(trial_workers(), 1u);  // invalid env: hardware fallback
+  ASSERT_EQ(unsetenv("RXL_TRIAL_WORKERS"), 0);
+  EXPECT_GE(trial_workers(), 1u);
 }
 
 }  // namespace

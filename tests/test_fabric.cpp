@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "rxl/sim/trial_runner.hpp"
+
 namespace rxl::transport {
 namespace {
+
+constexpr Protocol kProtocols[] = {Protocol::kCxl, Protocol::kRxl};
 
 FabricConfig base_config(Protocol protocol) {
   FabricConfig config;
@@ -21,11 +25,13 @@ FabricConfig base_config(Protocol protocol) {
 }
 
 TEST(Fabric, CleanFabricDeliversEverything) {
-  for (const Protocol protocol : {Protocol::kCxl, Protocol::kRxl}) {
-    FabricConfig config = base_config(protocol);
+  const auto reports = sim::run_trials(2, [](std::size_t trial) {
+    FabricConfig config = base_config(kProtocols[trial]);
     config.downstream_flits = 5'000;
     config.upstream_flits = 5'000;
-    const FabricReport report = run_fabric(config);
+    return run_fabric(config);
+  });
+  for (const FabricReport& report : reports) {
     EXPECT_EQ(report.downstream.scoreboard.in_order, 5'000u);
     EXPECT_EQ(report.downstream.scoreboard.order_violations, 0u);
     EXPECT_EQ(report.upstream.scoreboard.in_order, 5'000u);
@@ -60,19 +66,18 @@ TEST(Fabric, SwitchedRxlHasZeroOrderingFailuresUnderSameDrops) {
 TEST(Fabric, SwitchInternalCorruptionEscapesCxlButNotRxl) {
   // §6.3: CXL switches regenerate the link CRC over internally corrupted
   // data; RXL's end-to-end ECRC catches it.
-  FabricConfig cxl = base_config(Protocol::kCxl);
-  cxl.switch_internal_error_rate = 1e-3;
-  cxl.downstream_flits = 20'000;
-  cxl.upstream_flits = 20'000;
-  const FabricReport cxl_report = run_fabric(cxl);
+  const auto reports = sim::run_trials(2, [](std::size_t trial) {
+    FabricConfig config = base_config(kProtocols[trial]);
+    config.switch_internal_error_rate = 1e-3;
+    config.downstream_flits = 20'000;
+    config.upstream_flits = 20'000;
+    return run_fabric(config);
+  });
+  const FabricReport& cxl_report = reports[0];
   EXPECT_GT(cxl_report.downstream.switch_internal_corruptions, 0u);
   EXPECT_GT(cxl_report.downstream.scoreboard.data_corruptions, 0u);
 
-  FabricConfig rxl = base_config(Protocol::kRxl);
-  rxl.switch_internal_error_rate = 1e-3;
-  rxl.downstream_flits = 20'000;
-  rxl.upstream_flits = 20'000;
-  const FabricReport rxl_report = run_fabric(rxl);
+  const FabricReport& rxl_report = reports[1];
   EXPECT_GT(rxl_report.downstream.switch_internal_corruptions, 0u);
   EXPECT_EQ(rxl_report.downstream.scoreboard.data_corruptions, 0u);
   EXPECT_EQ(rxl_report.downstream.scoreboard.missing, 0u);
@@ -83,9 +88,9 @@ TEST(Fabric, MoreSwitchLevelsMeanMoreCxlFailures) {
   // The drop rate must stay low enough that the receiver is rarely in a
   // (self-aware) resync episode — the silent-drop hole only opens in the
   // clean state — so use a modest rate over a long run.
-  auto failures_at = [](unsigned levels) {
+  const auto failures = sim::run_trials(2, [](std::size_t trial) {
     FabricConfig config = base_config(Protocol::kCxl);
-    config.switch_levels = levels;
+    config.switch_levels = trial == 0 ? 1u : 4u;
     config.burst_injection_rate = 1e-3;
     config.downstream_flits = 150'000;
     config.upstream_flits = 150'000;
@@ -95,9 +100,9 @@ TEST(Fabric, MoreSwitchLevelsMeanMoreCxlFailures) {
            report.downstream.scoreboard.duplicates +
            report.upstream.scoreboard.order_violations +
            report.upstream.scoreboard.duplicates;
-  };
-  const std::uint64_t shallow = failures_at(1);
-  const std::uint64_t deep = failures_at(4);
+  });
+  const std::uint64_t shallow = failures[0];
+  const std::uint64_t deep = failures[1];
   EXPECT_GT(shallow, 0u);
   EXPECT_GT(deep, shallow);
 }
@@ -127,19 +132,35 @@ TEST(Fabric, ReportsChannelCapacity) {
   EXPECT_LE(report.downstream.goodput, 1.0);
 }
 
-TEST(Fabric, DeterministicAcrossRuns) {
-  FabricConfig config = base_config(Protocol::kCxl);
-  config.burst_injection_rate = 2e-3;
-  config.downstream_flits = 10'000;
-  config.upstream_flits = 10'000;
-  const FabricReport first = run_fabric(config);
-  const FabricReport second = run_fabric(config);
-  EXPECT_EQ(first.downstream.scoreboard.in_order,
-            second.downstream.scoreboard.in_order);
-  EXPECT_EQ(first.downstream.scoreboard.order_violations,
-            second.downstream.scoreboard.order_violations);
-  EXPECT_EQ(first.downstream.switch_dropped_fec,
-            second.downstream.switch_dropped_fec);
+TEST(Fabric, DeterministicAcrossRunsAndWorkerCounts) {
+  // The same config must reproduce exactly, whether the two trials run
+  // serially or sharded across TrialRunner workers.
+  // Half the old single-comparison traffic per trial: four sims run here
+  // (serial pair + sharded pair), so this keeps the suite's wall-time flat
+  // while still exercising thousands of flits per universe.
+  auto trial = [](std::size_t) {
+    FabricConfig config = base_config(Protocol::kCxl);
+    config.burst_injection_rate = 2e-3;
+    config.downstream_flits = 5'000;
+    config.upstream_flits = 5'000;
+    return run_fabric(config);
+  };
+  const auto serial = sim::run_trials(2, trial, /*workers=*/1);
+  const auto sharded = sim::run_trials(2, trial, /*workers=*/2);
+  for (const auto* reports : {&serial, &sharded}) {
+    const FabricReport& first = (*reports)[0];
+    const FabricReport& second = (*reports)[1];
+    EXPECT_EQ(first.downstream.scoreboard.in_order,
+              second.downstream.scoreboard.in_order);
+    EXPECT_EQ(first.downstream.scoreboard.order_violations,
+              second.downstream.scoreboard.order_violations);
+    EXPECT_EQ(first.downstream.switch_dropped_fec,
+              second.downstream.switch_dropped_fec);
+  }
+  EXPECT_EQ(serial[0].downstream.scoreboard.in_order,
+            sharded[0].downstream.scoreboard.in_order);
+  EXPECT_EQ(serial[0].downstream.switch_dropped_fec,
+            sharded[0].downstream.switch_dropped_fec);
 }
 
 TEST(Fabric, SummaryMentionsKeyCounters) {

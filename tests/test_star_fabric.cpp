@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "rxl/sim/trial_runner.hpp"
 #include "rxl/switchdev/port_switch.hpp"
 
 namespace rxl::transport {
 namespace {
+
+constexpr Protocol kProtocols[] = {Protocol::kCxl, Protocol::kRxl};
 
 StarConfig base_config(Protocol protocol, std::size_t pairs) {
   StarConfig config;
@@ -21,8 +24,10 @@ StarConfig base_config(Protocol protocol, std::size_t pairs) {
 }
 
 TEST(StarFabric, CleanFabricRoutesEveryPairCompletely) {
-  for (const Protocol protocol : {Protocol::kCxl, Protocol::kRxl}) {
-    const StarReport report = run_star_fabric(base_config(protocol, 4));
+  const auto reports = sim::run_trials(2, [](std::size_t trial) {
+    return run_star_fabric(base_config(kProtocols[trial], 4));
+  });
+  for (const StarReport& report : reports) {
     ASSERT_EQ(report.pairs.size(), 4u);
     for (const PairReport& pair : report.pairs) {
       EXPECT_EQ(pair.downstream.in_order, 4'000u);
@@ -61,14 +66,15 @@ TEST(StarFabric, RxlLosslessAcrossSharedSwitch) {
 TEST(StarFabric, CxlFailuresScaleWithPairCount) {
   // More pairs sharing the error-prone fabric => more §4.1 episodes in
   // aggregate (each pair contributes its own drop-mask opportunities).
-  StarConfig small = base_config(Protocol::kCxl, 2);
-  small.burst_injection_rate = 2e-3;
-  small.flits_per_direction = 20'000;
-  small.horizon = 300'000'000;
-  StarConfig large = small;
-  large.pairs = 8;
-  const StarReport small_report = run_star_fabric(small);
-  const StarReport large_report = run_star_fabric(large);
+  const auto reports = sim::run_trials(2, [](std::size_t trial) {
+    StarConfig config = base_config(Protocol::kCxl, trial == 0 ? 2 : 8);
+    config.burst_injection_rate = 2e-3;
+    config.flits_per_direction = 20'000;
+    config.horizon = 300'000'000;
+    return run_star_fabric(config);
+  });
+  const StarReport& small_report = reports[0];
+  const StarReport& large_report = reports[1];
   EXPECT_GT(small_report.total_order_failures() +
                 small_report.total_missing(),
             0u);
@@ -91,14 +97,27 @@ TEST(StarFabric, UnroutablePortIsCountedNotCrashed) {
   EXPECT_EQ(sw.stats().flits_forwarded, 0u);
 }
 
-TEST(StarFabric, DeterministicAcrossRuns) {
-  StarConfig config = base_config(Protocol::kCxl, 3);
-  config.burst_injection_rate = 2e-3;
-  const StarReport first = run_star_fabric(config);
-  const StarReport second = run_star_fabric(config);
-  EXPECT_EQ(first.total_in_order(), second.total_in_order());
-  EXPECT_EQ(first.total_order_failures(), second.total_order_failures());
-  EXPECT_EQ(first.down_switch.dropped_fec, second.down_switch.dropped_fec);
+TEST(StarFabric, DeterministicAcrossRunsAndWorkerCounts) {
+  // Half the old single-comparison traffic per trial (four sims run here:
+  // serial pair + sharded pair) to keep the suite's wall-time flat.
+  auto trial = [](std::size_t) {
+    StarConfig config = base_config(Protocol::kCxl, 3);
+    config.burst_injection_rate = 2e-3;
+    config.flits_per_direction = 2'000;
+    return run_star_fabric(config);
+  };
+  const auto serial = sim::run_trials(2, trial, /*workers=*/1);
+  const auto sharded = sim::run_trials(2, trial, /*workers=*/2);
+  for (const auto* reports : {&serial, &sharded}) {
+    const StarReport& first = (*reports)[0];
+    const StarReport& second = (*reports)[1];
+    EXPECT_EQ(first.total_in_order(), second.total_in_order());
+    EXPECT_EQ(first.total_order_failures(), second.total_order_failures());
+    EXPECT_EQ(first.down_switch.dropped_fec, second.down_switch.dropped_fec);
+  }
+  EXPECT_EQ(serial[0].total_in_order(), sharded[0].total_in_order());
+  EXPECT_EQ(serial[0].down_switch.dropped_fec,
+            sharded[0].down_switch.dropped_fec);
 }
 
 }  // namespace

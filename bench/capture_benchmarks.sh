@@ -38,18 +38,20 @@ done
 # Deterministic table reproductions: byte-stable across perf work, so any
 # diff in these files is a behaviour change, not noise.
 for table in reliability_table bandwidth_table ablation fig8_fit \
-             hw_overhead scenarios; do
+             hw_overhead scenarios dag_scenarios; do
   echo "== bench_$table -> $out_dir/$table.txt"
   "$build_dir/bench/bench_$table" > "$out_dir/$table.txt"
 done
 
 echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
 {
-  # The two slow-labeled Monte Carlo binaries register their cases under the
-  # gtest suite names Fabric.* / StarFabric.* (see tests/CMakeLists.txt).
-  for suite in Fabric StarFabric; do
+  # The slow-labeled Monte Carlo binaries register their cases under the
+  # gtest suite names Fabric.* / StarFabric.* / DagProperties.* (see
+  # tests/CMakeLists.txt).
+  for suite in Fabric StarFabric DagProperties; do
     start=$(date +%s%3N)
-    ctest --test-dir "$build_dir" -R "^${suite}\." --output-on-failure -Q
+    # (^|/) also catches value-parameterized cases ("Batches/DagProperties.")
+    ctest --test-dir "$build_dir" -R "(^|/)${suite}\." --output-on-failure -Q
     end=$(date +%s%3N)
     printf '%s %d.%02ds\n' "$suite" $(((end - start) / 1000)) \
       $(((end - start) % 1000 / 10))

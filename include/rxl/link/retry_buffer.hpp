@@ -32,9 +32,11 @@ class RetryBuffer {
   /// Stores a newly transmitted flit under its sequence number. Sequence
   /// numbers must be pushed consecutively. Returns false when full (caller
   /// must stall). `user_tag` is opaque caller metadata carried alongside
-  /// (the fabric uses it for the ground-truth stream index).
+  /// (the fabric uses it for the ground-truth stream index); `flow_tag`
+  /// likewise rides along so a replay can restore the flit's flow identity
+  /// (DAG relays route on it).
   bool push(std::uint16_t seq, const flit::Flit& encoded,
-            std::uint64_t user_tag = 0);
+            std::uint64_t user_tag = 0, std::uint16_t flow_tag = 0);
 
   /// Releases all entries up to and including `acked_seq` (cumulative ACK
   /// semantics). Out-of-window acks are ignored (stale duplicates).
@@ -46,6 +48,7 @@ class RetryBuffer {
 
   struct Entry {
     std::uint16_t seq;
+    std::uint16_t flow_tag;
     std::uint64_t user_tag;
     flit::Flit flit;
   };

@@ -40,6 +40,11 @@ struct FlitEnvelope {
   /// for the transaction-layer address lookup of a real CXL switch; the
   /// protocol logic never reads it.
   std::uint16_t dest_port = 0;
+  /// Flow identity tag consumed by DAG relays (next-hop lookup) and flow
+  /// sinks (per-flow scoreboard demux). Like dest_port it stands in for an
+  /// address/stream lookup; the link protocol never reads it, and relays
+  /// preserve it when a flit is re-originated on the next hop.
+  std::uint16_t flow_id = 0;
 };
 
 /// Per-channel occupancy and error statistics.

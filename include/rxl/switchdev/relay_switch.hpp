@@ -1,0 +1,83 @@
+// Hop-terminating multi-port relay: the DNP-style scale-out switch.
+//
+// Unlike SwitchDevice/PortSwitch — which forward flits transparently and
+// leave the ISN/retry domain end-to-end — a RelaySwitch TERMINATES the link
+// protocol on every port. Each port owns a full transport::Endpoint, so each
+// incident hop is its own ISN/CRC + retry domain with per-output-port
+// sequence state: a retry storm on one hop is invisible to every other hop
+// (the property the DAG test layer pins). Payloads accepted in order by an
+// ingress port are routed by flow and queued store-and-forward on the egress
+// port, where they are re-originated with fresh sequence numbers; the
+// end-to-end ground truth (truth_index, flow_id) rides the envelope across
+// the re-origination so scoreboards still observe the original stream.
+//
+// Accepting a flit transfers responsibility to this relay (the upstream hop
+// is ACKed and may free its replay buffer); the store-and-forward queue is
+// unbounded, modelling a relay whose buffering is provisioned for the
+// offered load. Queue high-water marks are reported for sizing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rxl/sim/event_queue.hpp"
+#include "rxl/sim/link_channel.hpp"
+#include "rxl/transport/config.hpp"
+#include "rxl/transport/endpoint.hpp"
+
+namespace rxl::switchdev {
+
+/// Per-port relay counters, beyond the port endpoint's own link statistics.
+struct RelayPortStats {
+  std::uint64_t relayed_in = 0;   ///< payloads accepted by this port's RX
+  std::uint64_t relayed_out = 0;  ///< payloads re-originated by this port's TX
+  std::uint64_t dropped_no_route = 0;  ///< accepted flits with no flow route
+  std::uint64_t max_queue_depth = 0;   ///< store-and-forward high-water mark
+};
+
+class RelaySwitch {
+ public:
+  RelaySwitch(sim::EventQueue& queue, std::string name);
+
+  /// Adds a port with its own link-termination endpoint; returns its index.
+  /// The caller wires the port endpoint's channels (set_output + the inbound
+  /// channel's receiver). Ports must all be added before traffic starts.
+  std::size_t add_port(const transport::ProtocolConfig& config);
+
+  /// Routes `flow_id` out of `egress_port` (deterministic table routing).
+  void set_route(std::uint16_t flow_id, std::size_t egress_port);
+
+  [[nodiscard]] transport::Endpoint& port(std::size_t i) {
+    return *ports_[i].endpoint;
+  }
+  [[nodiscard]] const transport::Endpoint& port(std::size_t i) const {
+    return *ports_[i].endpoint;
+  }
+  [[nodiscard]] std::size_t ports() const noexcept { return ports_.size(); }
+  [[nodiscard]] const RelayPortStats& port_stats(std::size_t i) const {
+    return ports_[i].stats;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<transport::Endpoint> endpoint;
+    std::deque<transport::Endpoint::TxItem> pending;
+    RelayPortStats stats;
+  };
+
+  void on_delivered(std::size_t ingress, std::span<const std::uint8_t> payload,
+                    const sim::FlitEnvelope& envelope);
+
+  sim::EventQueue& queue_;
+  std::string name_;
+  std::vector<Port> ports_;
+  static constexpr std::uint32_t kNoRoute = UINT32_MAX;
+  std::vector<std::uint32_t> routes_;  ///< flow_id -> egress port
+};
+
+}  // namespace rxl::switchdev

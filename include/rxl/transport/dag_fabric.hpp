@@ -1,0 +1,228 @@
+// Multi-hop DAG fabrics with per-hop ISN domains.
+//
+// The star/level harnesses hard-code their wiring; DagFabric replaces that
+// with graph construction over three node kinds:
+//  * kTerminal — a flow source/sink (one NIC: at most one uplink edge and
+//    one downlink edge).
+//  * kRelay    — a DNP-style store-and-forward switch that TERMINATES the
+//    link protocol on every port (switchdev::RelaySwitch): each incident
+//    hop is its own ISN/CRC + retry domain with independent sequence state.
+//  * kHub      — a transparent multi-port switch (switchdev::PortSwitch)
+//    that forwards without touching sequence numbers, splicing the ISN
+//    domain through — exactly the paper's switch model. The legacy star
+//    fabric is this: endpoints around one hub.
+//
+// Edges are directed links, each with its own ErrorModel parameters and
+// channel seed. An ISN domain spans termination-to-termination: a direct
+// edge between terminating nodes, or an edge pair through one hub. When the
+// topology also contains the reverse segment, the domain is bidirectional
+// (one Endpoint per side, ACKs piggyback — the legacy configuration);
+// otherwise an implicit reverse control channel is synthesised and ACKs
+// travel standalone.
+//
+// Routing is deterministic and table-driven: per-flow shortest paths
+// (breadth-first, ties broken by lowest edge id) compiled into per-relay
+// flow tables and per-domain hub egress tags. plan_dag() validates the
+// topology (acyclicity of the switching core, reachability, port fan-out
+// limits, domain exclusivity) before anything is instantiated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rxl/link/link_layer.hpp"
+#include "rxl/switchdev/port_switch.hpp"
+#include "rxl/switchdev/relay_switch.hpp"
+#include "rxl/transport/config.hpp"
+#include "rxl/transport/endpoint.hpp"
+#include "rxl/transport/star_fabric.hpp"
+#include "rxl/txn/scoreboard.hpp"
+
+namespace rxl::transport {
+
+enum class DagNodeKind : std::uint8_t { kTerminal = 0, kRelay, kHub };
+
+struct DagNode {
+  std::string name;
+  DagNodeKind kind = DagNodeKind::kTerminal;
+  /// Hub internal-corruption RNG seed; drawn from the fabric seeder when
+  /// unset. Explicit seeds exist so legacy harnesses can be reproduced
+  /// draw-for-draw (see run_star_fabric_via_dag).
+  std::optional<std::uint64_t> seed;
+};
+
+struct DagEdge {
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  double ber = 0.0;
+  double burst_injection_rate = 0.0;
+  std::size_t burst_symbols = 4;
+  TimePs latency = 8'000;
+  /// Forward-channel error-stream seed; drawn from the fabric seeder when
+  /// unset.
+  std::optional<std::uint64_t> seed;
+};
+
+struct DagFlow {
+  std::uint16_t src = 0;  ///< source terminal node id
+  std::uint16_t dst = 0;  ///< destination terminal node id
+  std::uint64_t flits = 0;
+  std::uint64_t salt = 0;  ///< payload stream salt
+};
+
+struct DagConfig {
+  ProtocolConfig protocol;
+  std::vector<DagNode> nodes;
+  std::vector<DagEdge> edges;
+  std::vector<DagFlow> flows;
+  /// Probability of internal corruption per flit transiting each hub.
+  double hub_internal_error_rate = 0.0;
+  TimePs slot = kFlitSlotPs;
+  TimePs hub_latency = 10'000;  ///< transparent-switch forward latency
+  std::uint64_t seed = 1;
+  TimePs horizon = 0;
+  /// Fan-out validation limit: maximum incident edges per node.
+  std::size_t max_ports = 64;
+};
+
+/// The compiled routing plan: what plan_dag() validates and run_dag_fabric()
+/// instantiates. Exposed so tests can pin routing decisions directly.
+struct DagPlan {
+  /// One ISN domain direction: origin termination -> peer termination,
+  /// optionally through one hub.
+  struct Segment {
+    std::uint16_t origin = 0;  ///< terminating node the data leaves
+    std::uint16_t peer = 0;    ///< terminating node the data reaches
+    std::uint16_t egress_edge = 0;   ///< edge out of origin
+    std::uint16_t ingress_edge = 0;  ///< edge into peer (== egress if direct)
+    std::optional<std::uint16_t> hub;
+    std::uint16_t hub_port = 0;  ///< hub egress port tag stamped at origin
+    /// Index of the reverse segment when the topology carries one (the
+    /// domain is then bidirectional and ACKs piggyback on reverse data).
+    std::optional<std::uint32_t> mate;
+  };
+  std::vector<std::vector<std::uint16_t>> flow_paths;  ///< edge ids per flow
+  std::vector<Segment> segments;                       ///< deduplicated
+  std::vector<std::vector<std::uint32_t>> flow_segments;  ///< per flow
+};
+
+/// Validates the topology and compiles the routing plan.
+/// Throws std::invalid_argument (with the offending node/edge named) on:
+/// bad indices, self/duplicate edges, fan-out beyond max_ports, terminals
+/// with more than one uplink/downlink, hub-adjacent hubs, idle hubs, a
+/// cyclic switching core, unreachable flows, several flows originating at
+/// one terminal, or two ISN domains multiplexed onto one hub egress edge.
+[[nodiscard]] DagPlan plan_dag(const DagConfig& config);
+
+/// Per-hop link statistics: both terminations and both channels of one ISN
+/// domain. This is the observability surface the hop-isolation tests pin:
+/// a retry storm on one hop must leave every other hop's counters clean.
+struct DagLinkStats {
+  std::uint32_t segment = 0;   ///< index into DagPlan::segments
+  std::uint16_t node_a = 0;    ///< forward-direction TX side
+  std::uint16_t node_b = 0;    ///< forward-direction RX side
+  std::uint16_t forward_edge = 0;
+  bool paired = false;       ///< reverse direction is a topology edge
+  bool crosses_hub = false;
+  link::EndpointStats a, b;  ///< endpoint counters at each side
+  EndpointExtraStats a_extra, b_extra;
+  sim::ChannelStats forward_channel;
+  /// Paired reverse data edge, or the implicit control wire.
+  sim::ChannelStats reverse_channel;
+};
+
+struct DagFlowReport {
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint64_t offered = 0;  ///< payloads actually pulled from the source
+  txn::StreamScoreboard::Stats scoreboard;
+  std::vector<std::uint16_t> path_edges;
+};
+
+struct DagRelayPort {
+  static constexpr std::uint16_t kNoEdge = 0xFFFF;
+  std::uint16_t rx_edge = kNoEdge;  ///< edge this port receives data on
+  std::uint16_t tx_edge = kNoEdge;  ///< edge this port transmits data on
+  switchdev::RelayPortStats stats;
+};
+
+struct DagRelayReport {
+  std::uint16_t node = 0;
+  std::vector<DagRelayPort> ports;
+};
+
+struct DagHubReport {
+  std::uint16_t node = 0;
+  switchdev::PortSwitchStats stats;
+};
+
+struct DagReport {
+  std::vector<DagFlowReport> flows;
+  std::vector<DagLinkStats> hops;
+  std::vector<DagRelayReport> relays;
+  std::vector<DagHubReport> hubs;
+  /// Deliveries at a terminal whose flow tag names another destination (a
+  /// routing-table bug would show up here; the tests pin it at zero).
+  std::uint64_t misrouted = 0;
+  std::uint64_t slots = 0;
+
+  [[nodiscard]] std::uint64_t total_offered() const;
+  [[nodiscard]] std::uint64_t total_in_order() const;
+  /// Fail_order events across all flows (gap skips + duplicates).
+  [[nodiscard]] std::uint64_t total_order_failures() const;
+  [[nodiscard]] std::uint64_t total_missing() const;
+  [[nodiscard]] std::uint64_t total_data_corruptions() const;
+  /// Retransmissions summed over every hop termination: the work the
+  /// per-hop retry domains did that the end-to-end scoreboards never see.
+  [[nodiscard]] std::uint64_t total_hop_retransmissions() const;
+  [[nodiscard]] std::uint64_t total_relay_no_route_drops() const;
+};
+
+/// Builds, runs, and reports a DAG fabric simulation.
+[[nodiscard]] DagReport run_dag_fabric(const DagConfig& config);
+
+/// Shared knobs for the canned scenario topologies below.
+struct DagScenarioSpec {
+  ProtocolConfig protocol;
+  double ber = 0.0;
+  double burst_injection_rate = 0.0;
+  std::size_t burst_symbols = 4;
+  TimePs latency = 8'000;
+  std::uint64_t flits_per_flow = 0;
+  std::uint64_t seed = 1;
+  TimePs horizon = 0;
+};
+
+/// Chain A -> R1 -> ... -> Rk -> B (k = `relays`, so k+1 hops), one flow.
+[[nodiscard]] DagConfig make_chain_dag(const DagScenarioSpec& spec,
+                                       std::size_t relays);
+
+/// Two-stage butterfly: 4 sources -> 2 stage-1 relays -> 2 stage-2 relays
+/// -> 4 sinks, flows s_i -> d_i (pairs of flows share each middle hop).
+[[nodiscard]] DagConfig make_butterfly_dag(const DagScenarioSpec& spec);
+
+/// Folded fat tree: 4 hosts -> 2 up-relays -> 1 spine -> 2 down-relays ->
+/// 4 sinks, flows h_i -> d_(3-i) (all four flows cross the spine).
+[[nodiscard]] DagConfig make_fat_tree_dag(const DagScenarioSpec& spec);
+
+/// Asymmetric join/branch DAG: a 3-hop trunk A -> R1 -> R2 -> B plus a
+/// side source C joining at R1 and a side sink D leaving at R2, three
+/// flows of unequal path length sharing the trunk hop.
+[[nodiscard]] DagConfig make_asymmetric_dag(const DagScenarioSpec& spec);
+
+/// The legacy star fabric expressed as a one-hub DAG: N terminal pairs
+/// around a single transparent hub, seeds drawn in the legacy order so a
+/// run is trajectory-identical to run_star_fabric() on the same StarConfig
+/// (when switch_internal_error_rate is zero; with internal corruption the
+/// legacy build uses one RNG stream per direction and the single hub uses
+/// one in total). The equivalence test pins this field-for-field.
+[[nodiscard]] DagConfig make_star_dag(const StarConfig& config);
+
+/// Runs make_star_dag() and repackages the DagReport as a StarReport.
+/// down_switch carries the hub's aggregate counters (the one-hub DAG has no
+/// per-direction split); up_switch is left zeroed.
+[[nodiscard]] StarReport run_star_fabric_via_dag(const StarConfig& config);
+
+}  // namespace rxl::transport

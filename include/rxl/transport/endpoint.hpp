@@ -58,6 +58,17 @@ class Endpoint {
   /// position `truth_index`, or nullopt when (currently) out of data.
   using SourceFn =
       std::function<std::optional<std::vector<std::uint8_t>>(std::uint64_t)>;
+  /// A relayed flit awaiting re-origination on this endpoint's hop: the
+  /// payload plus the end-to-end ground truth that must survive the hop
+  /// (DAG relays route on flow_id; scoreboards match on truth_index).
+  struct TxItem {
+    std::vector<std::uint8_t> payload;
+    std::uint64_t truth_index = 0;
+    std::uint16_t flow_id = 0;
+  };
+  /// Pull-model relay source (exclusive with SourceFn): return the next
+  /// queued TxItem, or nullopt when the store-and-forward queue is empty.
+  using RelaySourceFn = std::function<std::optional<TxItem>()>;
 
   Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
            std::string name);
@@ -66,8 +77,16 @@ class Endpoint {
   /// Destination routing tag stamped on every outgoing envelope (consumed
   /// by multi-port switches; stands in for address-based routing).
   void set_dest_port(std::uint16_t port) noexcept { dest_port_ = port; }
+  /// Flow identity stamped on flits originated through SourceFn (relay
+  /// items carry their own). Simulation metadata, like dest_port.
+  void set_flow_id(std::uint16_t flow_id) noexcept { flow_id_ = flow_id; }
   void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
   void set_source(SourceFn source) { source_ = std::move(source); }
+  /// Installs a relay source. Exclusive with set_source: an endpoint either
+  /// originates a stream or re-originates a relayed one, never both.
+  void set_relay_source(RelaySourceFn source) {
+    relay_source_ = std::move(source);
+  }
 
   /// Starts the transmit loop (idempotent; also used to re-kick after the
   /// source gains data).
@@ -106,7 +125,8 @@ class Endpoint {
  private:
   // TX path.
   bool send_one();
-  void send_data_flit(std::span<const std::uint8_t> payload);
+  void send_data_flit(std::span<const std::uint8_t> payload,
+                      std::uint64_t truth_index, std::uint16_t flow_id);
   void replay_step();
   void enqueue_control(flit::ReplayCmd command, std::uint16_t fsn);
   void begin_replay_from(std::uint16_t seq);
@@ -134,6 +154,7 @@ class Endpoint {
   // TX state.
   sim::LinkChannel* output_ = nullptr;
   std::uint16_t dest_port_ = 0;
+  std::uint16_t flow_id_ = 0;
   std::uint16_t next_seq_ = 0;  ///< sequence number of the next new flit
   link::RetryBuffer retry_buffer_;
   std::optional<std::uint16_t> replay_cursor_;
@@ -141,6 +162,7 @@ class Endpoint {
   std::deque<flit::Flit> control_queue_;
   std::uint64_t next_truth_index_ = 0;
   SourceFn source_;
+  RelaySourceFn relay_source_;
   bool kick_scheduled_ = false;
   sim::Timer retry_timer_;
   TimePs last_ack_progress_ = 0;

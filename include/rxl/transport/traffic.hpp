@@ -1,0 +1,50 @@
+// Shared traffic/error-model generation for the fabric harnesses.
+//
+// Every fabric (point-to-point, star, DAG) offers the same deterministic
+// payload stream and composes the same physical error processes; the
+// star-as-DAG equivalence proof depends on these being byte-identical, so
+// they live here instead of being copied per harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rxl/common/bytes.hpp"
+#include "rxl/common/rng.hpp"
+#include "rxl/common/types.hpp"
+#include "rxl/phy/error_model.hpp"
+
+namespace rxl::transport {
+
+/// The 240 B payload for stream position `index`, salted per flow. Word 0
+/// carries the index (handy when eyeballing traces); the rest is a
+/// deterministic PRNG fill so corruption cannot alias.
+[[nodiscard]] inline std::vector<std::uint8_t> make_stream_payload(
+    std::uint64_t index, std::uint64_t salt) {
+  std::vector<std::uint8_t> payload(kPayloadBytes, 0);
+  Xoshiro256 rng(index * 0x9E3779B97F4A7C15ull + salt);
+  for (std::size_t i = 8; i < payload.size(); i += 8)
+    store_le64(payload, i, rng());
+  store_le64(payload, 0, index);
+  return payload;
+}
+
+/// Composes the per-link error process: independent bit errors and/or
+/// Bernoulli-gated symbol bursts, collapsing to NoErrors on a clean link.
+[[nodiscard]] inline std::unique_ptr<phy::ErrorModel> make_error_model(
+    double ber, double burst_injection_rate, std::size_t burst_symbols) {
+  std::vector<std::unique_ptr<phy::ErrorModel>> models;
+  if (ber > 0.0)
+    models.push_back(std::make_unique<phy::IndependentBitErrors>(ber));
+  if (burst_injection_rate > 0.0) {
+    models.push_back(std::make_unique<phy::BernoulliGate>(
+        burst_injection_rate,
+        std::make_unique<phy::SymbolBurstInjector>(burst_symbols)));
+  }
+  if (models.empty()) return std::make_unique<phy::NoErrors>();
+  if (models.size() == 1) return std::move(models.front());
+  return std::make_unique<phy::CompositeErrorModel>(std::move(models));
+}
+
+}  // namespace rxl::transport

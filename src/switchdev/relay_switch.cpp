@@ -1,0 +1,67 @@
+#include "rxl/switchdev/relay_switch.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rxl::switchdev {
+
+RelaySwitch::RelaySwitch(sim::EventQueue& queue, std::string name)
+    : queue_(queue), name_(std::move(name)) {
+  (void)queue_;
+}
+
+std::size_t RelaySwitch::add_port(const transport::ProtocolConfig& config) {
+  const std::size_t index = ports_.size();
+  std::string port_name = name_;
+  port_name += ".p";
+  port_name += std::to_string(index);
+  Port port;
+  port.endpoint = std::make_unique<transport::Endpoint>(queue_, config,
+                                                        std::move(port_name));
+  ports_.push_back(std::move(port));
+  transport::Endpoint& endpoint = *ports_[index].endpoint;
+  endpoint.set_deliver([this, index](std::span<const std::uint8_t> payload,
+                                     const sim::FlitEnvelope& envelope) {
+    on_delivered(index, payload, envelope);
+  });
+  endpoint.set_relay_source(
+      [this, index]() -> std::optional<transport::Endpoint::TxItem> {
+        Port& port = ports_[index];
+        if (port.pending.empty()) return std::nullopt;
+        transport::Endpoint::TxItem item = std::move(port.pending.front());
+        port.pending.pop_front();
+        port.stats.relayed_out += 1;
+        return item;
+      });
+  return index;
+}
+
+void RelaySwitch::set_route(std::uint16_t flow_id, std::size_t egress_port) {
+  assert(egress_port < ports_.size());
+  if (routes_.size() <= flow_id) routes_.resize(flow_id + 1u, kNoRoute);
+  routes_[flow_id] = static_cast<std::uint32_t>(egress_port);
+}
+
+void RelaySwitch::on_delivered(std::size_t ingress,
+                               std::span<const std::uint8_t> payload,
+                               const sim::FlitEnvelope& envelope) {
+  Port& in_port = ports_[ingress];
+  in_port.stats.relayed_in += 1;
+  const std::uint32_t egress =
+      envelope.flow_id < routes_.size() ? routes_[envelope.flow_id] : kNoRoute;
+  if (egress == kNoRoute) {
+    in_port.stats.dropped_no_route += 1;
+    return;
+  }
+  Port& out_port = ports_[egress];
+  transport::Endpoint::TxItem item;
+  item.payload.assign(payload.begin(), payload.end());
+  item.truth_index = envelope.truth_index;
+  item.flow_id = envelope.flow_id;
+  out_port.pending.push_back(std::move(item));
+  if (out_port.pending.size() > out_port.stats.max_queue_depth)
+    out_port.stats.max_queue_depth = out_port.pending.size();
+  out_port.endpoint->kick();
+}
+
+}  // namespace rxl::switchdev

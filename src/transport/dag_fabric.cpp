@@ -1,0 +1,881 @@
+#include "rxl/transport/dag_fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "rxl/sim/event_queue.hpp"
+#include "rxl/transport/traffic.hpp"
+
+namespace rxl::transport {
+namespace {
+
+[[noreturn]] void invalid(std::string message) {
+  throw std::invalid_argument(std::move(message));
+}
+
+std::string node_label(const DagConfig& config, std::size_t node) {
+  if (node < config.nodes.size() && !config.nodes[node].name.empty())
+    return config.nodes[node].name;
+  std::string label = "node#";
+  label += std::to_string(node);
+  return label;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Validation + routing plan
+// ---------------------------------------------------------------------------
+
+DagPlan plan_dag(const DagConfig& config) {
+  const std::size_t n = config.nodes.size();
+  if (n == 0) invalid("DAG topology has no nodes");
+  if (n >= 0xFFFF || config.edges.size() >= 0xFFF0 ||
+      config.flows.size() >= 0xFFFF)
+    invalid("DAG topology exceeds the 16-bit id space");
+
+  auto kind = [&](std::size_t node) { return config.nodes[node].kind; };
+  auto label = [&](std::size_t node) { return node_label(config, node); };
+
+  // Edge sanity + adjacency (out/in lists stay in edge-id order).
+  std::vector<std::vector<std::uint16_t>> out_edges(n);
+  std::vector<std::vector<std::uint16_t>> in_edges(n);
+  for (std::size_t e = 0; e < config.edges.size(); ++e) {
+    const DagEdge& edge = config.edges[e];
+    if (edge.src >= n || edge.dst >= n) {
+      std::string message = "edge ";
+      message += std::to_string(e);
+      message += " references a node out of range";
+      invalid(std::move(message));
+    }
+    if (edge.src == edge.dst) {
+      std::string message = "self-edge at ";
+      message += label(edge.src);
+      invalid(std::move(message));
+    }
+    out_edges[edge.src].push_back(static_cast<std::uint16_t>(e));
+    in_edges[edge.dst].push_back(static_cast<std::uint16_t>(e));
+  }
+  {
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> pairs;
+    pairs.reserve(config.edges.size());
+    for (const DagEdge& edge : config.edges)
+      pairs.emplace_back(edge.src, edge.dst);
+    std::sort(pairs.begin(), pairs.end());
+    const auto dup = std::adjacent_find(pairs.begin(), pairs.end());
+    if (dup != pairs.end()) {
+      std::string message = "duplicate edge ";
+      message += label(dup->first);
+      message += " -> ";
+      message += label(dup->second);
+      invalid(std::move(message));
+    }
+  }
+
+  // Per-node-kind constraints.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t fanout = out_edges[v].size() + in_edges[v].size();
+    if (fanout > config.max_ports) {
+      std::string message = label(v);
+      message += " exceeds the fan-out limit (";
+      message += std::to_string(fanout);
+      message += " incident edges, max_ports=";
+      message += std::to_string(config.max_ports);
+      message += ")";
+      invalid(std::move(message));
+    }
+    switch (kind(v)) {
+      case DagNodeKind::kTerminal:
+        if (out_edges[v].size() > 1) {
+          std::string message = "terminal ";
+          message += label(v);
+          message += " has more than one uplink edge";
+          invalid(std::move(message));
+        }
+        if (in_edges[v].size() > 1) {
+          std::string message = "terminal ";
+          message += label(v);
+          message += " has more than one downlink edge";
+          invalid(std::move(message));
+        }
+        break;
+      case DagNodeKind::kHub:
+        if (out_edges[v].empty() || in_edges[v].empty()) {
+          std::string message = "hub ";
+          message += label(v);
+          message += " needs at least one ingress and one egress edge";
+          invalid(std::move(message));
+        }
+        for (const std::uint16_t e : out_edges[v]) {
+          if (kind(config.edges[e].dst) == DagNodeKind::kHub) {
+            std::string message = "hubs ";
+            message += label(v);
+            message += " and ";
+            message += label(config.edges[e].dst);
+            message += " are adjacent; an ISN domain may cross at most one hub";
+            invalid(std::move(message));
+          }
+        }
+        break;
+      case DagNodeKind::kRelay:
+        break;
+    }
+  }
+
+  // Acyclicity of the switching core. Traffic cannot transit a terminal
+  // (flows only originate/terminate there), so the only cycles reachable by
+  // routed flits are cycles among relays/hubs: DFS with colors over edges
+  // whose endpoints are both non-terminal.
+  {
+    std::vector<std::uint8_t> color(n, 0);  // 0=white 1=grey 2=black
+    struct Frame {
+      std::uint16_t node;
+      std::size_t next;
+    };
+    std::vector<Frame> stack;
+    for (std::size_t start = 0; start < n; ++start) {
+      if (kind(start) == DagNodeKind::kTerminal || color[start] != 0) continue;
+      color[start] = 1;
+      stack.push_back(Frame{static_cast<std::uint16_t>(start), 0});
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next < out_edges[frame.node].size()) {
+          const std::uint16_t e = out_edges[frame.node][frame.next++];
+          const std::uint16_t w = config.edges[e].dst;
+          if (kind(w) == DagNodeKind::kTerminal) continue;
+          if (color[w] == 1) {
+            std::string message =
+                "the switching core contains a cycle through ";
+            message += label(w);
+            invalid(std::move(message));
+          }
+          if (color[w] == 0) {
+            color[w] = 1;
+            stack.push_back(Frame{w, 0});
+          }
+        } else {
+          color[frame.node] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Per-flow routing: BFS shortest path, ties broken by lowest edge id
+  // (out-edge lists are in declaration order, so first-reached wins).
+  DagPlan plan;
+  plan.flow_paths.resize(config.flows.size());
+  plan.flow_segments.resize(config.flows.size());
+  std::vector<std::int32_t> origin_flow(n, -1);
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const DagFlow& flow = config.flows[f];
+    if (flow.src >= n || flow.dst >= n) {
+      std::string message = "flow ";
+      message += std::to_string(f);
+      message += " references a node out of range";
+      invalid(std::move(message));
+    }
+    if (kind(flow.src) != DagNodeKind::kTerminal ||
+        kind(flow.dst) != DagNodeKind::kTerminal) {
+      std::string message = "flow ";
+      message += std::to_string(f);
+      message += " endpoints must be terminals";
+      invalid(std::move(message));
+    }
+    if (flow.src == flow.dst) {
+      std::string message = "flow ";
+      message += std::to_string(f);
+      message += " sends to its own source";
+      invalid(std::move(message));
+    }
+    if (origin_flow[flow.src] >= 0) {
+      std::string message = "terminal ";
+      message += label(flow.src);
+      message += " originates more than one flow";
+      invalid(std::move(message));
+    }
+    origin_flow[flow.src] = static_cast<std::int32_t>(f);
+
+    std::vector<std::int32_t> parent_edge(n, -1);
+    std::vector<std::uint8_t> visited(n, 0);
+    std::vector<std::uint16_t> frontier{flow.src};
+    visited[flow.src] = 1;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const std::uint16_t u = frontier[head];
+      if (u != flow.src && kind(u) == DagNodeKind::kTerminal) continue;
+      for (const std::uint16_t e : out_edges[u]) {
+        const std::uint16_t w = config.edges[e].dst;
+        if (visited[w]) continue;
+        visited[w] = 1;
+        parent_edge[w] = static_cast<std::int32_t>(e);
+        frontier.push_back(w);
+      }
+    }
+    if (!visited[flow.dst]) {
+      std::string message = "flow ";
+      message += label(flow.src);
+      message += " -> ";
+      message += label(flow.dst);
+      message += " is unreachable";
+      invalid(std::move(message));
+    }
+    std::vector<std::uint16_t>& path = plan.flow_paths[f];
+    for (std::uint16_t v = flow.dst; v != flow.src;) {
+      const std::int32_t e = parent_edge[v];
+      assert(e >= 0);
+      path.push_back(static_cast<std::uint16_t>(e));
+      v = config.edges[static_cast<std::size_t>(e)].src;
+    }
+    std::reverse(path.begin(), path.end());
+  }
+
+  // Segment extraction: split each path at terminating nodes. The hub
+  // adjacency check above guarantees a run between terminations is one
+  // direct edge or an (entry, exit) pair through one hub.
+  auto hub_port_of = [&](std::uint16_t hub, std::uint16_t edge) {
+    const std::vector<std::uint16_t>& outs = out_edges[hub];
+    const auto it = std::find(outs.begin(), outs.end(), edge);
+    assert(it != outs.end());
+    return static_cast<std::uint16_t>(it - outs.begin());
+  };
+  std::vector<std::int32_t> segment_of_egress(config.edges.size(), -1);
+  std::vector<std::int32_t> segment_of_ingress(config.edges.size(), -1);
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const std::vector<std::uint16_t>& path = plan.flow_paths[f];
+    std::size_t i = 0;
+    while (i < path.size()) {
+      DagPlan::Segment segment;
+      const std::uint16_t e1 = path[i];
+      segment.origin = config.edges[e1].src;
+      segment.egress_edge = e1;
+      if (kind(config.edges[e1].dst) == DagNodeKind::kHub) {
+        assert(i + 1 < path.size());
+        const std::uint16_t e2 = path[i + 1];
+        segment.hub = config.edges[e1].dst;
+        segment.hub_port = hub_port_of(*segment.hub, e2);
+        segment.ingress_edge = e2;
+        segment.peer = config.edges[e2].dst;
+        i += 2;
+      } else {
+        segment.ingress_edge = e1;
+        segment.peer = config.edges[e1].dst;
+        i += 1;
+      }
+      const std::int32_t existing = segment_of_egress[segment.egress_edge];
+      if (existing >= 0) {
+        const DagPlan::Segment& other =
+            plan.segments[static_cast<std::size_t>(existing)];
+        if (other.ingress_edge != segment.ingress_edge) {
+          std::string message = "ISN domain leaving ";
+          message += label(segment.origin);
+          message += " fans out at hub ";
+          message += label(segment.hub.value_or(segment.peer));
+          message += " (one TX termination cannot feed two receivers)";
+          invalid(std::move(message));
+        }
+        plan.flow_segments[f].push_back(static_cast<std::uint32_t>(existing));
+        continue;
+      }
+      if (segment_of_ingress[segment.ingress_edge] >= 0) {
+        std::string message =
+            "two ISN domains are multiplexed onto the edge into ";
+        message += label(segment.peer);
+        message += " (an implicit-sequence receiver cannot demux them)";
+        invalid(std::move(message));
+      }
+      const std::uint32_t index =
+          static_cast<std::uint32_t>(plan.segments.size());
+      segment_of_egress[segment.egress_edge] = static_cast<std::int32_t>(index);
+      segment_of_ingress[segment.ingress_edge] =
+          static_cast<std::int32_t>(index);
+      plan.segments.push_back(segment);
+      plan.flow_segments[f].push_back(index);
+    }
+  }
+
+  // Pair mutually reverse segments into bidirectional domains. At most one
+  // candidate can exist (duplicate edges are rejected above and hubs are
+  // matched exactly), so a linear scan suffices.
+  for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+    if (plan.segments[i].mate.has_value()) continue;
+    for (std::size_t j = i + 1; j < plan.segments.size(); ++j) {
+      if (plan.segments[j].mate.has_value()) continue;
+      if (plan.segments[j].origin == plan.segments[i].peer &&
+          plan.segments[j].peer == plan.segments[i].origin &&
+          plan.segments[j].hub == plan.segments[i].hub) {
+        plan.segments[i].mate = static_cast<std::uint32_t>(j);
+        plan.segments[j].mate = static_cast<std::uint32_t>(i);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Instantiation + run
+// ---------------------------------------------------------------------------
+
+DagReport run_dag_fabric(const DagConfig& config) {
+  assert(config.horizon > 0);
+  const DagPlan plan = plan_dag(config);
+  const std::size_t node_count = config.nodes.size();
+
+  sim::EventQueue queue;
+  Xoshiro256 seeder(config.seed);
+  auto kind = [&](std::size_t node) { return config.nodes[node].kind; };
+
+  // Hub out-edge port order (edge-id order, as in plan_dag).
+  std::vector<std::vector<std::uint16_t>> out_edges(node_count);
+  for (std::size_t e = 0; e < config.edges.size(); ++e)
+    out_edges[config.edges[e].src].push_back(static_cast<std::uint16_t>(e));
+
+  // Seed draw order is part of the determinism contract (and of the legacy
+  // star reproduction): hubs first in node order, then forward channels in
+  // edge order, then implicit control wires in domain order.
+  std::vector<std::unique_ptr<switchdev::PortSwitch>> hubs(node_count);
+  for (std::size_t v = 0; v < node_count; ++v) {
+    if (kind(v) != DagNodeKind::kHub) continue;
+    const std::uint64_t seed =
+        config.nodes[v].seed.has_value() ? *config.nodes[v].seed : seeder();
+    switchdev::PortSwitch::Config hub_config;
+    hub_config.protocol = config.protocol.protocol;
+    hub_config.internal_error_rate = config.hub_internal_error_rate;
+    hub_config.forward_latency = config.hub_latency;
+    hub_config.ports = out_edges[v].size();
+    hubs[v] = std::make_unique<switchdev::PortSwitch>(queue, hub_config, seed);
+  }
+  std::vector<std::unique_ptr<sim::LinkChannel>> channels(config.edges.size());
+  for (std::size_t e = 0; e < config.edges.size(); ++e) {
+    const DagEdge& edge = config.edges[e];
+    const std::uint64_t seed = edge.seed.has_value() ? *edge.seed : seeder();
+    channels[e] = std::make_unique<sim::LinkChannel>(
+        queue,
+        make_error_model(edge.ber, edge.burst_injection_rate,
+                         edge.burst_symbols),
+        seed, config.slot, edge.latency);
+  }
+
+  std::vector<std::unique_ptr<switchdev::RelaySwitch>> relays(node_count);
+  for (std::size_t v = 0; v < node_count; ++v) {
+    if (kind(v) == DagNodeKind::kRelay)
+      relays[v] = std::make_unique<switchdev::RelaySwitch>(
+          queue, node_label(config, v));
+  }
+
+  // Per-hop domains. Unpaired domains carry acknowledgments standalone on
+  // the implicit reverse control wire (there is no reverse data to
+  // piggyback on); paired domains keep the configured policy.
+  ProtocolConfig unpaired_protocol = config.protocol;
+  unpaired_protocol.ack_policy = link::AckPolicy::kStandalone;
+
+  std::vector<std::unique_ptr<Endpoint>> terminal_endpoints;
+  std::map<std::pair<std::uint16_t, std::uint32_t>, Endpoint*> terminal_of;
+  std::map<std::pair<std::uint16_t, std::uint32_t>, std::size_t> relay_port_of;
+  std::vector<std::vector<DagRelayPort>> relay_ports(node_count);
+  auto attach = [&](std::uint16_t node, std::uint32_t rep,
+                    const ProtocolConfig& protocol) -> Endpoint* {
+    const std::pair<std::uint16_t, std::uint32_t> key{node, rep};
+    if (kind(node) == DagNodeKind::kRelay) {
+      const auto it = relay_port_of.find(key);
+      if (it != relay_port_of.end()) return &relays[node]->port(it->second);
+      const std::size_t port = relays[node]->add_port(protocol);
+      relay_port_of.emplace(key, port);
+      relay_ports[node].push_back(DagRelayPort{});
+      return &relays[node]->port(port);
+    }
+    const auto it = terminal_of.find(key);
+    if (it != terminal_of.end()) return it->second;
+    terminal_endpoints.push_back(std::make_unique<Endpoint>(
+        queue, protocol, node_label(config, node)));
+    terminal_of.emplace(key, terminal_endpoints.back().get());
+    return terminal_endpoints.back().get();
+  };
+  auto note_relay_edges = [&](std::uint16_t node, std::uint32_t rep,
+                              std::uint16_t rx_edge, std::uint16_t tx_edge) {
+    if (kind(node) != DagNodeKind::kRelay) return;
+    DagRelayPort& port = relay_ports[node][relay_port_of.at({node, rep})];
+    if (rx_edge != DagRelayPort::kNoEdge) port.rx_edge = rx_edge;
+    if (tx_edge != DagRelayPort::kNoEdge) port.tx_edge = tx_edge;
+  };
+
+  struct Domain {
+    std::uint32_t rep = 0;
+    Endpoint* a = nullptr;
+    Endpoint* b = nullptr;
+    sim::LinkChannel* forward = nullptr;
+    sim::LinkChannel* reverse = nullptr;
+  };
+  std::vector<Domain> domains;
+  std::vector<std::unique_ptr<sim::LinkChannel>> control_channels;
+  std::vector<std::uint32_t> rep_of(plan.segments.size(), 0);
+  std::vector<std::uint8_t> processed(plan.segments.size(), 0);
+  for (std::size_t si = 0; si < plan.segments.size(); ++si) {
+    if (processed[si]) continue;
+    const DagPlan::Segment& segment = plan.segments[si];
+    const bool paired = segment.mate.has_value();
+    processed[si] = 1;
+    rep_of[si] = static_cast<std::uint32_t>(si);
+    if (paired) {
+      processed[*segment.mate] = 1;
+      rep_of[*segment.mate] = static_cast<std::uint32_t>(si);
+    }
+    const ProtocolConfig& protocol =
+        paired ? config.protocol : unpaired_protocol;
+
+    Domain domain;
+    domain.rep = static_cast<std::uint32_t>(si);
+    domain.a = attach(segment.origin, domain.rep, protocol);
+    domain.b = attach(segment.peer, domain.rep, protocol);
+    domain.forward = channels[segment.egress_edge].get();
+    if (paired) {
+      domain.reverse = channels[plan.segments[*segment.mate].egress_edge].get();
+    } else {
+      const DagEdge& edge = config.edges[segment.egress_edge];
+      control_channels.push_back(std::make_unique<sim::LinkChannel>(
+          queue,
+          make_error_model(edge.ber, edge.burst_injection_rate,
+                           edge.burst_symbols),
+          seeder(), config.slot, edge.latency));
+      domain.reverse = control_channels.back().get();
+    }
+
+    domain.a->set_output(domain.forward);
+    domain.a->set_dest_port(segment.hub_port);
+    domain.b->set_output(domain.reverse);
+    domain.b->set_dest_port(
+        paired ? plan.segments[*segment.mate].hub_port : std::uint16_t{0});
+
+    Endpoint* const side_a = domain.a;
+    Endpoint* const side_b = domain.b;
+    channels[segment.ingress_edge]->set_receiver(
+        [side_b](sim::FlitEnvelope&& envelope) {
+          side_b->on_flit(std::move(envelope));
+        });
+    if (segment.hub.has_value()) {
+      switchdev::PortSwitch* const hub = hubs[*segment.hub].get();
+      channels[segment.egress_edge]->set_receiver(
+          [hub](sim::FlitEnvelope&& envelope) {
+            hub->on_flit(std::move(envelope));
+          });
+      hub->set_output(segment.hub_port, channels[segment.ingress_edge].get());
+    }
+    if (paired) {
+      const DagPlan::Segment& mate = plan.segments[*segment.mate];
+      channels[mate.ingress_edge]->set_receiver(
+          [side_a](sim::FlitEnvelope&& envelope) {
+            side_a->on_flit(std::move(envelope));
+          });
+      if (mate.hub.has_value()) {
+        switchdev::PortSwitch* const hub = hubs[*mate.hub].get();
+        channels[mate.egress_edge]->set_receiver(
+            [hub](sim::FlitEnvelope&& envelope) {
+              hub->on_flit(std::move(envelope));
+            });
+        hub->set_output(mate.hub_port, channels[mate.ingress_edge].get());
+      }
+      note_relay_edges(segment.origin, domain.rep,
+                       mate.ingress_edge, segment.egress_edge);
+      note_relay_edges(segment.peer, domain.rep,
+                       segment.ingress_edge, mate.egress_edge);
+    } else {
+      domain.reverse->set_receiver([side_a](sim::FlitEnvelope&& envelope) {
+        side_a->on_flit(std::move(envelope));
+      });
+      note_relay_edges(segment.origin, domain.rep, DagRelayPort::kNoEdge,
+                       segment.egress_edge);
+      note_relay_edges(segment.peer, domain.rep, segment.ingress_edge,
+                       DagRelayPort::kNoEdge);
+    }
+    domains.push_back(domain);
+  }
+
+  // Relay flow tables.
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    for (const std::uint32_t si : plan.flow_segments[f]) {
+      const DagPlan::Segment& segment = plan.segments[si];
+      if (kind(segment.origin) != DagNodeKind::kRelay) continue;
+      relays[segment.origin]->set_route(
+          static_cast<std::uint16_t>(f),
+          relay_port_of.at({segment.origin, rep_of[si]}));
+    }
+  }
+
+  // Flow sources and sinks.
+  std::vector<txn::StreamScoreboard> boards(config.flows.size());
+  std::vector<std::uint64_t> offered(config.flows.size(), 0);
+  std::uint64_t misrouted = 0;
+  for (const auto& [key, endpoint] : terminal_of) {
+    const std::uint16_t node = key.first;
+    txn::StreamScoreboard* const board_base = boards.data();
+    const DagFlow* const flow_base = config.flows.data();
+    const std::size_t flow_count = config.flows.size();
+    std::uint64_t* const misrouted_ptr = &misrouted;
+    endpoint->set_deliver([board_base, flow_base, flow_count, misrouted_ptr,
+                           node](std::span<const std::uint8_t> payload,
+                                 const sim::FlitEnvelope& envelope) {
+      if (envelope.has_truth && envelope.flow_id < flow_count &&
+          flow_base[envelope.flow_id].dst == node) {
+        board_base[envelope.flow_id].on_deliver(payload, envelope);
+      } else {
+        *misrouted_ptr += 1;
+      }
+    });
+  }
+  std::vector<Endpoint*> flow_sources(config.flows.size(), nullptr);
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const DagFlow& flow = config.flows[f];
+    const std::uint32_t first = plan.flow_segments[f].front();
+    Endpoint* const source = terminal_of.at({flow.src, rep_of[first]});
+    flow_sources[f] = source;
+    source->set_flow_id(static_cast<std::uint16_t>(f));
+    txn::StreamScoreboard* const board = &boards[f];
+    std::uint64_t* const offered_ptr = &offered[f];
+    const std::uint64_t budget = flow.flits;
+    const std::uint64_t salt = flow.salt;
+    source->set_source([board, offered_ptr, budget, salt](std::uint64_t index)
+                           -> std::optional<std::vector<std::uint8_t>> {
+      if (index >= budget) return std::nullopt;
+      std::vector<std::uint8_t> payload = make_stream_payload(index, salt);
+      board->register_sent(index, payload);
+      *offered_ptr = index + 1;
+      return payload;
+    });
+  }
+
+  for (Endpoint* const source : flow_sources) source->kick();
+  queue.run_until(config.horizon);
+
+  // Reports.
+  DagReport report;
+  report.slots = config.slot > 0
+                     ? static_cast<std::uint64_t>(config.horizon / config.slot)
+                     : 0;
+  report.misrouted = misrouted;
+  report.flows.resize(config.flows.size());
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    DagFlowReport& flow_report = report.flows[f];
+    flow_report.src = config.flows[f].src;
+    flow_report.dst = config.flows[f].dst;
+    flow_report.offered = offered[f];
+    flow_report.scoreboard = boards[f].finalize();
+    flow_report.path_edges = plan.flow_paths[f];
+  }
+  for (const Domain& domain : domains) {
+    const DagPlan::Segment& segment = plan.segments[domain.rep];
+    DagLinkStats hop;
+    hop.segment = domain.rep;
+    hop.node_a = segment.origin;
+    hop.node_b = segment.peer;
+    hop.forward_edge = segment.egress_edge;
+    hop.paired = segment.mate.has_value();
+    hop.crosses_hub = segment.hub.has_value();
+    hop.a = domain.a->stats();
+    hop.b = domain.b->stats();
+    hop.a_extra = domain.a->extra_stats();
+    hop.b_extra = domain.b->extra_stats();
+    hop.forward_channel = domain.forward->stats();
+    hop.reverse_channel = domain.reverse->stats();
+    report.hops.push_back(hop);
+  }
+  for (std::size_t v = 0; v < node_count; ++v) {
+    if (kind(v) == DagNodeKind::kRelay) {
+      DagRelayReport relay_report;
+      relay_report.node = static_cast<std::uint16_t>(v);
+      relay_report.ports = relay_ports[v];
+      for (std::size_t p = 0; p < relay_report.ports.size(); ++p)
+        relay_report.ports[p].stats = relays[v]->port_stats(p);
+      report.relays.push_back(std::move(relay_report));
+    } else if (kind(v) == DagNodeKind::kHub) {
+      report.hubs.push_back(
+          DagHubReport{static_cast<std::uint16_t>(v), hubs[v]->stats()});
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Report aggregates
+// ---------------------------------------------------------------------------
+
+std::uint64_t DagReport::total_offered() const {
+  std::uint64_t total = 0;
+  for (const DagFlowReport& flow : flows) total += flow.offered;
+  return total;
+}
+
+std::uint64_t DagReport::total_in_order() const {
+  std::uint64_t total = 0;
+  for (const DagFlowReport& flow : flows) total += flow.scoreboard.in_order;
+  return total;
+}
+
+std::uint64_t DagReport::total_order_failures() const {
+  std::uint64_t total = 0;
+  for (const DagFlowReport& flow : flows)
+    total += flow.scoreboard.order_violations + flow.scoreboard.duplicates;
+  return total;
+}
+
+std::uint64_t DagReport::total_missing() const {
+  std::uint64_t total = 0;
+  for (const DagFlowReport& flow : flows) total += flow.scoreboard.missing;
+  return total;
+}
+
+std::uint64_t DagReport::total_data_corruptions() const {
+  std::uint64_t total = 0;
+  for (const DagFlowReport& flow : flows)
+    total += flow.scoreboard.data_corruptions;
+  return total;
+}
+
+std::uint64_t DagReport::total_hop_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a.data_flits_retransmitted + hop.b.data_flits_retransmitted;
+  return total;
+}
+
+std::uint64_t DagReport::total_relay_no_route_drops() const {
+  std::uint64_t total = 0;
+  for (const DagRelayReport& relay : relays)
+    for (const DagRelayPort& port : relay.ports)
+      total += port.stats.dropped_no_route;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Canned topologies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+DagConfig base_scenario_config(const DagScenarioSpec& spec) {
+  DagConfig config;
+  config.protocol = spec.protocol;
+  config.seed = spec.seed;
+  config.horizon = spec.horizon;
+  return config;
+}
+
+DagEdge scenario_edge(const DagScenarioSpec& spec, std::uint16_t src,
+                      std::uint16_t dst) {
+  DagEdge edge;
+  edge.src = src;
+  edge.dst = dst;
+  edge.ber = spec.ber;
+  edge.burst_injection_rate = spec.burst_injection_rate;
+  edge.burst_symbols = spec.burst_symbols;
+  edge.latency = spec.latency;
+  return edge;
+}
+
+}  // namespace
+
+DagConfig make_chain_dag(const DagScenarioSpec& spec, std::size_t relays) {
+  DagConfig config = base_scenario_config(spec);
+  config.nodes.push_back(DagNode{"src", DagNodeKind::kTerminal, {}});
+  for (std::size_t r = 0; r < relays; ++r) {
+    std::string name = "relay";
+    name += std::to_string(r + 1);
+    config.nodes.push_back(DagNode{std::move(name), DagNodeKind::kRelay, {}});
+  }
+  config.nodes.push_back(DagNode{"dst", DagNodeKind::kTerminal, {}});
+  const std::uint16_t last = static_cast<std::uint16_t>(relays + 1);
+  for (std::uint16_t v = 0; v < last; ++v)
+    config.edges.push_back(
+        scenario_edge(spec, v, static_cast<std::uint16_t>(v + 1)));
+  config.flows.push_back(DagFlow{0, last, spec.flits_per_flow, 0xA000});
+  return config;
+}
+
+DagConfig make_butterfly_dag(const DagScenarioSpec& spec) {
+  DagConfig config = base_scenario_config(spec);
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "s";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  config.nodes.push_back(DagNode{"r10", DagNodeKind::kRelay, {}});  // id 4
+  config.nodes.push_back(DagNode{"r11", DagNodeKind::kRelay, {}});  // id 5
+  config.nodes.push_back(DagNode{"r20", DagNodeKind::kRelay, {}});  // id 6
+  config.nodes.push_back(DagNode{"r21", DagNodeKind::kRelay, {}});  // id 7
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "d";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }  // ids 8..11
+  config.edges.push_back(scenario_edge(spec, 0, 4));
+  config.edges.push_back(scenario_edge(spec, 1, 4));
+  config.edges.push_back(scenario_edge(spec, 2, 5));
+  config.edges.push_back(scenario_edge(spec, 3, 5));
+  config.edges.push_back(scenario_edge(spec, 4, 6));
+  config.edges.push_back(scenario_edge(spec, 4, 7));
+  config.edges.push_back(scenario_edge(spec, 5, 6));
+  config.edges.push_back(scenario_edge(spec, 5, 7));
+  config.edges.push_back(scenario_edge(spec, 6, 8));
+  config.edges.push_back(scenario_edge(spec, 6, 9));
+  config.edges.push_back(scenario_edge(spec, 7, 10));
+  config.edges.push_back(scenario_edge(spec, 7, 11));
+  // s0 and s2 land under r20, s1 and s3 under r21: every stage-1 relay
+  // splits its two flows across both stage-2 relays, so all four middle
+  // edges carry traffic and every stage-2 relay sees fan-in from both
+  // stage-1 relays.
+  config.flows.push_back(DagFlow{0, 8, spec.flits_per_flow, 0xC000});
+  config.flows.push_back(DagFlow{1, 10, spec.flits_per_flow, 0xC001});
+  config.flows.push_back(DagFlow{2, 9, spec.flits_per_flow, 0xC002});
+  config.flows.push_back(DagFlow{3, 11, spec.flits_per_flow, 0xC003});
+  return config;
+}
+
+DagConfig make_fat_tree_dag(const DagScenarioSpec& spec) {
+  DagConfig config = base_scenario_config(spec);
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "h";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  config.nodes.push_back(DagNode{"up0", DagNodeKind::kRelay, {}});    // id 4
+  config.nodes.push_back(DagNode{"up1", DagNodeKind::kRelay, {}});    // id 5
+  config.nodes.push_back(DagNode{"spine", DagNodeKind::kRelay, {}});  // id 6
+  config.nodes.push_back(DagNode{"down0", DagNodeKind::kRelay, {}});  // id 7
+  config.nodes.push_back(DagNode{"down1", DagNodeKind::kRelay, {}});  // id 8
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "d";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }  // ids 9..12
+  config.edges.push_back(scenario_edge(spec, 0, 4));
+  config.edges.push_back(scenario_edge(spec, 1, 4));
+  config.edges.push_back(scenario_edge(spec, 2, 5));
+  config.edges.push_back(scenario_edge(spec, 3, 5));
+  config.edges.push_back(scenario_edge(spec, 4, 6));
+  config.edges.push_back(scenario_edge(spec, 5, 6));
+  config.edges.push_back(scenario_edge(spec, 6, 7));
+  config.edges.push_back(scenario_edge(spec, 6, 8));
+  config.edges.push_back(scenario_edge(spec, 7, 9));
+  config.edges.push_back(scenario_edge(spec, 7, 10));
+  config.edges.push_back(scenario_edge(spec, 8, 11));
+  config.edges.push_back(scenario_edge(spec, 8, 12));
+  // Cross traffic: every flow climbs to the spine and descends the other
+  // side, so the two trunk hops each multiplex two flows.
+  for (std::uint16_t i = 0; i < 4; ++i)
+    config.flows.push_back(DagFlow{i, static_cast<std::uint16_t>(12 - i),
+                                   spec.flits_per_flow, 0xF000u + i});
+  return config;
+}
+
+DagConfig make_asymmetric_dag(const DagScenarioSpec& spec) {
+  DagConfig config = base_scenario_config(spec);
+  config.nodes.push_back(DagNode{"a", DagNodeKind::kTerminal, {}});   // 0
+  config.nodes.push_back(DagNode{"c", DagNodeKind::kTerminal, {}});   // 1
+  config.nodes.push_back(DagNode{"r0", DagNodeKind::kRelay, {}});     // 2
+  config.nodes.push_back(DagNode{"r1", DagNodeKind::kRelay, {}});     // 3
+  config.nodes.push_back(DagNode{"r2", DagNodeKind::kRelay, {}});     // 4
+  config.nodes.push_back(DagNode{"b", DagNodeKind::kTerminal, {}});   // 5
+  config.nodes.push_back(DagNode{"d", DagNodeKind::kTerminal, {}});   // 6
+  config.edges.push_back(scenario_edge(spec, 0, 2));
+  config.edges.push_back(scenario_edge(spec, 2, 3));
+  config.edges.push_back(scenario_edge(spec, 1, 3));
+  config.edges.push_back(scenario_edge(spec, 3, 4));
+  config.edges.push_back(scenario_edge(spec, 4, 5));
+  config.edges.push_back(scenario_edge(spec, 4, 6));
+  // a -> b rides four hops, c -> d three; both share the r1 -> r2 trunk.
+  config.flows.push_back(DagFlow{0, 5, spec.flits_per_flow, 0xE000});
+  config.flows.push_back(DagFlow{1, 6, spec.flits_per_flow, 0xE001});
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// The legacy star fabric as a one-hub DAG
+// ---------------------------------------------------------------------------
+
+DagConfig make_star_dag(const StarConfig& config) {
+  DagConfig dag;
+  dag.protocol = config.protocol;
+  dag.slot = config.slot;
+  dag.hub_latency = config.switch_latency;
+  dag.hub_internal_error_rate = config.switch_internal_error_rate;
+  dag.seed = config.seed;
+  dag.horizon = config.horizon;
+
+  const std::size_t n = config.pairs;
+  // Legacy seed draw order: down switch, up switch, then per pair the four
+  // channels (host uplink, device downlink, device uplink, host downlink).
+  // Replaying those draws as explicit seeds makes a clean-hub run
+  // trajectory-identical to run_star_fabric().
+  Xoshiro256 seeder(config.seed);
+  const std::uint64_t hub_seed = seeder();
+  (void)seeder();  // the legacy up-switch stream; the single hub has one
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = "host";
+    name += std::to_string(i);
+    dag.nodes.push_back(DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = "dev";
+    name += std::to_string(i);
+    dag.nodes.push_back(DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  const std::uint16_t hub = static_cast<std::uint16_t>(2 * n);
+  dag.nodes.push_back(DagNode{"hub", DagNodeKind::kHub, hub_seed});
+  // 2N terminals + the hub: keep validation permissive for large stars.
+  dag.max_ports = std::max<std::size_t>(dag.max_ports, 4 * n);
+
+  auto star_edge = [&](std::uint16_t src, std::uint16_t dst) {
+    DagEdge edge;
+    edge.src = src;
+    edge.dst = dst;
+    edge.ber = config.ber;
+    edge.burst_injection_rate = config.burst_injection_rate;
+    edge.burst_symbols = config.burst_symbols;
+    edge.latency = config.propagation_latency;
+    edge.seed = seeder();
+    return edge;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t host = static_cast<std::uint16_t>(i);
+    const std::uint16_t device = static_cast<std::uint16_t>(n + i);
+    dag.edges.push_back(star_edge(host, hub));    // host uplink
+    dag.edges.push_back(star_edge(hub, device));  // device downlink
+    dag.edges.push_back(star_edge(device, hub));  // device uplink
+    dag.edges.push_back(star_edge(hub, host));    // host downlink
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    dag.flows.push_back(DagFlow{static_cast<std::uint16_t>(i),
+                                static_cast<std::uint16_t>(n + i),
+                                config.flits_per_direction, 0xD000 + i});
+  for (std::size_t i = 0; i < n; ++i)
+    dag.flows.push_back(DagFlow{static_cast<std::uint16_t>(n + i),
+                                static_cast<std::uint16_t>(i),
+                                config.flits_per_direction, 0xB000 + i});
+  return dag;
+}
+
+StarReport run_star_fabric_via_dag(const StarConfig& config) {
+  const DagReport dag = run_dag_fabric(make_star_dag(config));
+  StarReport report;
+  report.slots = config.slot > 0
+                     ? static_cast<std::uint64_t>(config.horizon / config.slot)
+                     : 0;
+  const std::size_t n = config.pairs;
+  report.pairs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.pairs[i].downstream = dag.flows[i].scoreboard;
+    report.pairs[i].upstream = dag.flows[n + i].scoreboard;
+  }
+  if (!dag.hubs.empty()) report.down_switch = dag.hubs.front().stats;
+  return report;
+}
+
+}  // namespace rxl::transport

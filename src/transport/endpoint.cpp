@@ -92,6 +92,7 @@ bool Endpoint::send_one() {
     envelope.truth_index = entry->user_tag;
     envelope.has_truth = true;
     envelope.dest_port = dest_port_;
+    envelope.flow_id = entry->flow_tag;
     single_resends_.pop_front();
     stats_.data_flits_retransmitted += 1;
     output_->send(std::move(envelope));
@@ -111,6 +112,7 @@ bool Endpoint::send_one() {
       envelope.truth_index = entry->user_tag;
       envelope.has_truth = true;
       envelope.dest_port = dest_port_;
+      envelope.flow_id = entry->flow_tag;
       const std::uint16_t next = link::seq_next(entry->seq);
       replay_cursor_ =
           retry_buffer_.find(next) ? std::optional<std::uint16_t>(next)
@@ -120,21 +122,31 @@ bool Endpoint::send_one() {
       return true;
     }
   }
-  // Priority 4: new application data, window permitting.
-  if (source_) {
+  // Priority 4: new application data (or the relay's store-and-forward
+  // queue), window permitting.
+  if (source_ || relay_source_) {
+    assert(!(source_ && relay_source_));
     if (retry_buffer_.full()) {
       stats_.tx_stalls += 1;
       return false;
     }
-    if (auto payload = source_(next_truth_index_)) {
-      send_data_flit(*payload);
+    if (relay_source_) {
+      if (auto item = relay_source_()) {
+        send_data_flit(item->payload, item->truth_index, item->flow_id);
+        return true;
+      }
+    } else if (auto payload = source_(next_truth_index_)) {
+      send_data_flit(*payload, next_truth_index_, flow_id_);
+      next_truth_index_ += 1;
       return true;
     }
   }
   return false;
 }
 
-void Endpoint::send_data_flit(std::span<const std::uint8_t> payload) {
+void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
+                              std::uint64_t truth_index,
+                              std::uint16_t flow_id) {
   const std::uint16_t seq = next_seq_;
   // The canonical (replayable) image always carries the explicit/implicit
   // SeqNum with no piggybacked ACK; the wire image on first transmission
@@ -152,19 +164,19 @@ void Endpoint::send_data_flit(std::span<const std::uint8_t> payload) {
       acknum.has_value() ? codec_.encode_data(payload, seq, acknum) : canonical;
   envelope.pristine = true;
   envelope.origin_fingerprint = flit::flit_fingerprint(envelope.flit);
-  envelope.truth_index = next_truth_index_;
+  envelope.truth_index = truth_index;
   envelope.has_truth = true;
   envelope.dest_port = dest_port_;
+  envelope.flow_id = flow_id;
   if (acknum.has_value()) stats_.acks_piggybacked += 1;
 
-  const bool pushed = retry_buffer_.push(seq, canonical, next_truth_index_);
+  const bool pushed = retry_buffer_.push(seq, canonical, truth_index, flow_id);
   assert(pushed);
   (void)pushed;
   if (retry_buffer_.size() == 1) last_ack_progress_ = queue_.now();
   arm_retry_timer();
 
   next_seq_ = link::seq_next(next_seq_);
-  next_truth_index_ += 1;
   stats_.data_flits_sent += 1;
   output_->send(std::move(envelope));
 }

@@ -3,35 +3,20 @@
 #include <cassert>
 #include <memory>
 
-#include "rxl/common/bytes.hpp"
-#include "rxl/phy/error_model.hpp"
 #include "rxl/sim/event_queue.hpp"
+#include "rxl/transport/traffic.hpp"
 
 namespace rxl::transport {
 namespace {
 
 std::unique_ptr<phy::ErrorModel> make_errors(const StarConfig& config) {
-  std::vector<std::unique_ptr<phy::ErrorModel>> models;
-  if (config.ber > 0.0)
-    models.push_back(std::make_unique<phy::IndependentBitErrors>(config.ber));
-  if (config.burst_injection_rate > 0.0) {
-    models.push_back(std::make_unique<phy::BernoulliGate>(
-        config.burst_injection_rate,
-        std::make_unique<phy::SymbolBurstInjector>(config.burst_symbols)));
-  }
-  if (models.empty()) return std::make_unique<phy::NoErrors>();
-  if (models.size() == 1) return std::move(models.front());
-  return std::make_unique<phy::CompositeErrorModel>(std::move(models));
+  return make_error_model(config.ber, config.burst_injection_rate,
+                          config.burst_symbols);
 }
 
 std::vector<std::uint8_t> make_payload(std::uint64_t index,
                                        std::uint64_t salt) {
-  std::vector<std::uint8_t> payload(kPayloadBytes, 0);
-  Xoshiro256 rng(index * 0x9E3779B97F4A7C15ull + salt);
-  for (std::size_t i = 8; i < payload.size(); i += 8)
-    store_le64(payload, i, rng());
-  store_le64(payload, 0, index);
-  return payload;
+  return make_stream_payload(index, salt);
 }
 
 }  // namespace

@@ -1,0 +1,473 @@
+// DagFabric construction, validation, routing, and small end-to-end runs:
+// the deterministic (fast-suite) half of the DAG test layer. The stochastic
+// sweeps live in test_dag_properties.cpp under the slow label.
+#include "rxl/transport/dag_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rxl/sim/trial_runner.hpp"
+#include "rxl/transport/star_fabric.hpp"
+
+namespace rxl::transport {
+namespace {
+
+DagEdge plain_edge(std::uint16_t src, std::uint16_t dst) {
+  DagEdge edge;
+  edge.src = src;
+  edge.dst = dst;
+  return edge;
+}
+
+DagConfig base_config_from(const DagScenarioSpec& spec) {
+  DagConfig config;
+  config.protocol = spec.protocol;
+  config.seed = spec.seed;
+  config.horizon = spec.horizon;
+  return config;
+}
+
+DagScenarioSpec base_spec() {
+  DagScenarioSpec spec;
+  spec.protocol.protocol = Protocol::kRxl;
+  spec.protocol.coalesce_factor = 8;
+  spec.flits_per_flow = 600;
+  spec.seed = 11;
+  spec.horizon = 60'000'000;  // 60 us
+  return spec;
+}
+
+// --------------------------------------------------------------------------
+// Validation
+// --------------------------------------------------------------------------
+
+TEST(DagFabric, RejectsCyclicSwitchingCore) {
+  DagConfig config = make_chain_dag(base_spec(), 2);
+  // relay2 -> relay1 closes a cycle among the relays.
+  config.edges.push_back(plain_edge(2, 1));
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, AllowsTerminalRelayBackEdge) {
+  // A reverse edge relay -> terminal is not a routable cycle (traffic
+  // cannot transit a terminal), so the plan accepts it; it only becomes a
+  // paired bidirectional domain when a flow actually uses it.
+  DagConfig config = make_chain_dag(base_spec(), 1);
+  config.edges.push_back(plain_edge(1, 0));  // relay1 -> src
+  const DagPlan plan = plan_dag(config);
+  EXPECT_EQ(plan.flow_paths[0].size(), 2u);
+}
+
+TEST(DagFabric, BidirectionalRelayChainPairsDomainsAndPiggybacks) {
+  // A <-> R <-> B with flows both ways: each hop pairs into one
+  // bidirectional domain, the relay's two ports carry data in both
+  // directions, and ACKs piggyback on reverse data as in the legacy
+  // point-to-point fabrics.
+  DagScenarioSpec spec = base_spec();
+  spec.burst_injection_rate = 1e-3;
+  spec.flits_per_flow = 800;
+  DagConfig config = base_config_from(spec);
+  config.nodes.push_back(DagNode{"a", DagNodeKind::kTerminal, {}});
+  config.nodes.push_back(DagNode{"r", DagNodeKind::kRelay, {}});
+  config.nodes.push_back(DagNode{"b", DagNodeKind::kTerminal, {}});
+  config.edges.push_back(plain_edge(0, 1));
+  config.edges.push_back(plain_edge(1, 2));
+  config.edges.push_back(plain_edge(2, 1));
+  config.edges.push_back(plain_edge(1, 0));
+  for (DagEdge& edge : config.edges) {
+    edge.burst_injection_rate = spec.burst_injection_rate;
+    edge.latency = spec.latency;
+  }
+  config.flows.push_back(DagFlow{0, 2, spec.flits_per_flow, 0x51});
+  config.flows.push_back(DagFlow{2, 0, spec.flits_per_flow, 0x52});
+  const DagPlan plan = plan_dag(config);
+  ASSERT_EQ(plan.segments.size(), 4u);
+  for (const DagPlan::Segment& segment : plan.segments)
+    EXPECT_TRUE(segment.mate.has_value());
+  const DagReport report = run_dag_fabric(config);
+  for (const DagFlowReport& flow : report.flows) {
+    EXPECT_EQ(flow.scoreboard.in_order, 800u);
+    EXPECT_EQ(flow.scoreboard.order_violations, 0u);
+    EXPECT_EQ(flow.scoreboard.duplicates, 0u);
+    EXPECT_EQ(flow.scoreboard.missing, 0u);
+  }
+  // Both domains really ran full duplex: each side of each hop both sent
+  // and delivered data flits, and at least one ACK piggybacked.
+  std::uint64_t piggybacked = 0;
+  for (const DagLinkStats& hop : report.hops) {
+    EXPECT_TRUE(hop.paired);
+    EXPECT_GT(hop.a.data_flits_sent, 0u);
+    EXPECT_GT(hop.b.data_flits_sent, 0u);
+    piggybacked += hop.a.acks_piggybacked + hop.b.acks_piggybacked;
+  }
+  EXPECT_GT(piggybacked, 0u);
+}
+
+TEST(DagFabric, RejectsDuplicateAndSelfEdges) {
+  DagConfig config = make_chain_dag(base_spec(), 1);
+  config.edges.push_back(config.edges.front());
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+  config = make_chain_dag(base_spec(), 1);
+  config.edges.push_back(plain_edge(1, 1));
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsMultiHomedTerminals) {
+  DagConfig config = make_chain_dag(base_spec(), 2);
+  config.edges.push_back(plain_edge(0, 2));  // second uplink out of src
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsUnreachableFlow) {
+  DagConfig config = make_chain_dag(base_spec(), 1);
+  config.nodes.push_back(DagNode{"island", DagNodeKind::kTerminal, {}});
+  config.flows.push_back(
+      DagFlow{0, static_cast<std::uint16_t>(config.nodes.size() - 1), 100, 1});
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsTwoFlowsFromOneTerminal) {
+  DagConfig config = make_butterfly_dag(base_spec());
+  config.flows.push_back(DagFlow{0, 9, 100, 1});  // s0 already originates one
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsFanOutBeyondPortLimit) {
+  DagConfig config = make_fat_tree_dag(base_spec());
+  config.max_ports = 2;  // the spine has 4 incident edges
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsDomainsMultiplexedOnOneHubEgress) {
+  // Two sources share one hub egress edge: an implicit-sequence receiver
+  // cannot demultiplex two ISN domains, so the plan must refuse.
+  DagConfig config;
+  config.nodes.push_back(DagNode{"s0", DagNodeKind::kTerminal, {}});
+  config.nodes.push_back(DagNode{"s1", DagNodeKind::kTerminal, {}});
+  config.nodes.push_back(DagNode{"hub", DagNodeKind::kHub, {}});
+  config.nodes.push_back(DagNode{"d", DagNodeKind::kTerminal, {}});
+  config.edges.push_back(plain_edge(0, 2));
+  config.edges.push_back(plain_edge(1, 2));
+  config.edges.push_back(plain_edge(2, 3));
+  config.flows.push_back(DagFlow{0, 3, 10, 1});
+  config.flows.push_back(DagFlow{1, 3, 10, 2});
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsAdjacentHubs) {
+  DagConfig config;
+  config.nodes.push_back(DagNode{"s", DagNodeKind::kTerminal, {}});
+  config.nodes.push_back(DagNode{"hub0", DagNodeKind::kHub, {}});
+  config.nodes.push_back(DagNode{"hub1", DagNodeKind::kHub, {}});
+  config.nodes.push_back(DagNode{"d", DagNodeKind::kTerminal, {}});
+  config.edges.push_back(plain_edge(0, 1));
+  config.edges.push_back(plain_edge(1, 2));
+  config.edges.push_back(plain_edge(2, 3));
+  config.flows.push_back(DagFlow{0, 3, 10, 1});
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Routing plans
+// --------------------------------------------------------------------------
+
+TEST(DagFabric, ChainPlanIsOneDomainPerHop) {
+  const DagConfig config = make_chain_dag(base_spec(), 3);
+  const DagPlan plan = plan_dag(config);
+  ASSERT_EQ(plan.segments.size(), 4u);  // src-r1, r1-r2, r2-r3, r3-dst
+  for (const DagPlan::Segment& segment : plan.segments) {
+    EXPECT_FALSE(segment.hub.has_value());
+    EXPECT_FALSE(segment.mate.has_value());
+    EXPECT_EQ(segment.egress_edge, segment.ingress_edge);
+  }
+  ASSERT_EQ(plan.flow_segments[0].size(), 4u);
+}
+
+TEST(DagFabric, ButterflyPlanUsesAllMiddleEdges) {
+  const DagConfig config = make_butterfly_dag(base_spec());
+  const DagPlan plan = plan_dag(config);
+  // 4 ingress hops + 4 middle hops + 4 egress hops, all unidirectional.
+  EXPECT_EQ(plan.segments.size(), 12u);
+  bool middle_edge_used[4] = {false, false, false, false};
+  for (const auto& path : plan.flow_paths) {
+    ASSERT_EQ(path.size(), 3u);
+    const std::uint16_t middle = path[1];
+    ASSERT_GE(middle, 4u);
+    ASSERT_LT(middle, 8u);
+    middle_edge_used[middle - 4] = true;
+  }
+  for (const bool used : middle_edge_used) EXPECT_TRUE(used);
+}
+
+TEST(DagFabric, StarPlanPairsEveryDomainThroughTheHub) {
+  StarConfig star;
+  star.pairs = 3;
+  star.flits_per_direction = 10;
+  star.horizon = 1'000'000;
+  const DagConfig config = make_star_dag(star);
+  const DagPlan plan = plan_dag(config);
+  ASSERT_EQ(plan.segments.size(), 6u);  // one per direction per pair
+  for (const DagPlan::Segment& segment : plan.segments) {
+    EXPECT_TRUE(segment.hub.has_value());
+    EXPECT_TRUE(segment.mate.has_value());
+  }
+}
+
+// --------------------------------------------------------------------------
+// End-to-end runs
+// --------------------------------------------------------------------------
+
+TEST(DagFabric, CleanChainDeliversEverythingExactlyOnce) {
+  const auto reports = sim::run_trials(2, [](std::size_t trial) {
+    DagScenarioSpec spec = base_spec();
+    spec.protocol.protocol = trial == 0 ? Protocol::kCxl : Protocol::kRxl;
+    return run_dag_fabric(make_chain_dag(spec, 3));
+  });
+  for (const DagReport& report : reports) {
+    ASSERT_EQ(report.flows.size(), 1u);
+    EXPECT_EQ(report.flows[0].offered, 600u);
+    EXPECT_EQ(report.flows[0].scoreboard.in_order, 600u);
+    EXPECT_EQ(report.total_order_failures(), 0u);
+    EXPECT_EQ(report.total_missing(), 0u);
+    EXPECT_EQ(report.total_hop_retransmissions(), 0u);
+    EXPECT_EQ(report.misrouted, 0u);
+    EXPECT_EQ(report.total_relay_no_route_drops(), 0u);
+  }
+}
+
+TEST(DagFabric, NoisyChainStaysExactlyOnceInOrder) {
+  DagScenarioSpec spec = base_spec();
+  spec.burst_injection_rate = 2e-3;
+  spec.flits_per_flow = 1'000;
+  const DagReport report = run_dag_fabric(make_chain_dag(spec, 3));
+  EXPECT_GT(report.total_hop_retransmissions(), 0u);  // hops really retried
+  EXPECT_EQ(report.flows[0].scoreboard.in_order, 1'000u);
+  EXPECT_EQ(report.flows[0].scoreboard.duplicates, 0u);
+  EXPECT_EQ(report.flows[0].scoreboard.order_violations, 0u);
+  EXPECT_EQ(report.flows[0].scoreboard.data_corruptions, 0u);
+  EXPECT_EQ(report.flows[0].scoreboard.missing, 0u);
+}
+
+TEST(DagFabric, ButterflyCrossTrafficCompletes) {
+  DagScenarioSpec spec = base_spec();
+  spec.burst_injection_rate = 1e-3;
+  const DagReport report = run_dag_fabric(make_butterfly_dag(spec));
+  ASSERT_EQ(report.flows.size(), 4u);
+  for (const DagFlowReport& flow : report.flows) {
+    EXPECT_EQ(flow.scoreboard.in_order, 600u);
+    EXPECT_EQ(flow.scoreboard.order_violations, 0u);
+    EXPECT_EQ(flow.scoreboard.duplicates, 0u);
+    EXPECT_EQ(flow.scoreboard.missing, 0u);
+  }
+  EXPECT_EQ(report.misrouted, 0u);
+}
+
+TEST(DagFabric, AsymmetricFlowsShareTheTrunkHop) {
+  DagScenarioSpec spec = base_spec();
+  const DagReport report = run_dag_fabric(make_asymmetric_dag(spec));
+  ASSERT_EQ(report.flows.size(), 2u);
+  for (const DagFlowReport& flow : report.flows)
+    EXPECT_EQ(flow.scoreboard.in_order, 600u);
+  EXPECT_EQ(report.flows[0].path_edges.size(), 4u);
+  EXPECT_EQ(report.flows[1].path_edges.size(), 3u);
+  // The r1 -> r2 trunk domain carried both flows' payloads.
+  bool trunk_found = false;
+  for (const DagLinkStats& hop : report.hops) {
+    if (hop.forward_edge == 3) {  // r1 -> r2 in make_asymmetric_dag
+      trunk_found = true;
+      EXPECT_EQ(hop.b.flits_delivered, 1'200u);
+    }
+  }
+  EXPECT_TRUE(trunk_found);
+}
+
+TEST(DagFabric, RelayReportExposesPortWiring) {
+  DagScenarioSpec spec = base_spec();
+  spec.flits_per_flow = 50;
+  const DagReport report = run_dag_fabric(make_chain_dag(spec, 2));
+  ASSERT_EQ(report.relays.size(), 2u);
+  const DagRelayReport& relay1 = report.relays[0];
+  ASSERT_EQ(relay1.ports.size(), 2u);
+  // Port 0 terminates the upstream hop (receives on edge 0, no data TX);
+  // port 1 originates the downstream hop (transmits on edge 1).
+  EXPECT_EQ(relay1.ports[0].rx_edge, 0u);
+  EXPECT_EQ(relay1.ports[0].tx_edge, DagRelayPort::kNoEdge);
+  EXPECT_EQ(relay1.ports[1].tx_edge, 1u);
+  EXPECT_EQ(relay1.ports[0].stats.relayed_in, 50u);
+  EXPECT_EQ(relay1.ports[1].stats.relayed_out, 50u);
+  EXPECT_GT(relay1.ports[1].stats.max_queue_depth, 0u);
+}
+
+TEST(DagFabric, RelayWithoutRouteCountsDropsNotCrashes) {
+  // Direct RelaySwitch harness: a source feeds port 0 but no flow route is
+  // installed, so every accepted payload is counted dropped_no_route.
+  sim::EventQueue queue;
+  ProtocolConfig protocol;
+  protocol.ack_policy = link::AckPolicy::kStandalone;
+  Endpoint tx(queue, protocol, "tx");
+  tx.set_flow_id(7);
+  switchdev::RelaySwitch relay(queue, "r");
+  relay.add_port(protocol);
+  relay.add_port(protocol);
+  sim::LinkChannel uplink(queue, std::make_unique<phy::NoErrors>(), 1, 2'000,
+                          2'000);
+  sim::LinkChannel control(queue, std::make_unique<phy::NoErrors>(), 2, 2'000,
+                           2'000);
+  tx.set_output(&uplink);
+  uplink.set_receiver([&relay](sim::FlitEnvelope&& envelope) {
+    relay.port(0).on_flit(std::move(envelope));
+  });
+  relay.port(0).set_output(&control);
+  control.set_receiver(
+      [&tx](sim::FlitEnvelope&& envelope) { tx.on_flit(std::move(envelope)); });
+  tx.set_source([](std::uint64_t index)
+                    -> std::optional<std::vector<std::uint8_t>> {
+    if (index >= 3) return std::nullopt;
+    return std::vector<std::uint8_t>(kPayloadBytes, 0x5A);
+  });
+  tx.kick();
+  queue.run_until(1'000'000);
+  EXPECT_EQ(relay.port_stats(0).relayed_in, 3u);
+  EXPECT_EQ(relay.port_stats(0).dropped_no_route, 3u);
+  EXPECT_EQ(relay.port_stats(1).relayed_out, 0u);
+}
+
+TEST(DagFabric, ConservationEveryDeliveryIsClassified) {
+  DagScenarioSpec spec = base_spec();
+  spec.protocol.protocol = Protocol::kCxl;  // per-hop CXL can lose flits
+  spec.burst_injection_rate = 2e-3;
+  spec.flits_per_flow = 1'000;
+  const DagReport report = run_dag_fabric(make_fat_tree_dag(spec));
+  for (const DagFlowReport& flow : report.flows) {
+    const auto& board = flow.scoreboard;
+    EXPECT_EQ(board.delivered,
+              board.in_order + board.order_violations + board.late_deliveries +
+                  board.duplicates + board.untracked);
+    EXPECT_EQ(board.untracked, 0u);
+    EXPECT_LE(board.in_order + board.late_deliveries, flow.offered);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Hop-domain isolation
+// --------------------------------------------------------------------------
+
+TEST(DagFabric, RetryStormOnOneHopLeavesNeighborsUntouched) {
+  DagScenarioSpec spec = base_spec();
+  spec.flits_per_flow = 800;
+  DagConfig config = make_chain_dag(spec, 3);
+  // Force a retry storm on the r1 -> r2 hop only.
+  config.edges[1].burst_injection_rate = 2e-2;
+  const DagReport report = run_dag_fabric(config);
+  ASSERT_EQ(report.hops.size(), 4u);
+  const DagLinkStats* storm = nullptr;
+  for (const DagLinkStats& hop : report.hops) {
+    if (hop.forward_edge == 1) storm = &hop;
+  }
+  ASSERT_NE(storm, nullptr);
+  EXPECT_GT(storm->a.data_flits_retransmitted, 0u);
+  EXPECT_GT(storm->b.nacks_sent + storm->a.retry_rounds, 0u);
+  for (const DagLinkStats& hop : report.hops) {
+    if (hop.forward_edge == 1) continue;
+    // Neighboring hops' sequence/retry state never moved: no NACKs, no
+    // replays, no discards — their domains are fully isolated.
+    EXPECT_EQ(hop.a.data_flits_retransmitted, 0u)
+        << "edge " << hop.forward_edge;
+    EXPECT_EQ(hop.b.nacks_sent, 0u) << "edge " << hop.forward_edge;
+    EXPECT_EQ(hop.a.retry_rounds, 0u) << "edge " << hop.forward_edge;
+    EXPECT_EQ(hop.b.flits_discarded_crc + hop.b.flits_discarded_fec, 0u)
+        << "edge " << hop.forward_edge;
+  }
+  // And the flow still arrives exactly once, in order.
+  EXPECT_EQ(report.flows[0].scoreboard.in_order, 800u);
+  EXPECT_EQ(report.total_order_failures(), 0u);
+  EXPECT_EQ(report.total_missing(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Star fabric re-expressed as a one-hub DAG
+// --------------------------------------------------------------------------
+
+TEST(DagFabric, StarViaDagMatchesLegacyStarExactly) {
+  StarConfig config;
+  config.protocol.protocol = Protocol::kRxl;
+  config.protocol.coalesce_factor = 10;
+  config.pairs = 3;
+  config.seed = 77;
+  config.burst_injection_rate = 2e-3;
+  config.flits_per_direction = 1'500;
+  config.horizon = 60'000'000;
+  // Two independent sims (legacy wiring vs one-hub DAG), sharded.
+  const auto legacy_reports = sim::run_trials(2, [&](std::size_t trial) {
+    return trial == 0 ? run_star_fabric(config)
+                      : run_star_fabric_via_dag(config);
+  });
+  const StarReport& legacy = legacy_reports[0];
+  const StarReport& dag = legacy_reports[1];
+  ASSERT_EQ(legacy.pairs.size(), dag.pairs.size());
+  for (std::size_t i = 0; i < legacy.pairs.size(); ++i) {
+    for (const auto direction :
+         {&PairReport::downstream, &PairReport::upstream}) {
+      const txn::StreamScoreboard::Stats& a = legacy.pairs[i].*direction;
+      const txn::StreamScoreboard::Stats& b = dag.pairs[i].*direction;
+      EXPECT_EQ(a.delivered, b.delivered) << "pair " << i;
+      EXPECT_EQ(a.in_order, b.in_order) << "pair " << i;
+      EXPECT_EQ(a.order_violations, b.order_violations) << "pair " << i;
+      EXPECT_EQ(a.duplicates, b.duplicates) << "pair " << i;
+      EXPECT_EQ(a.late_deliveries, b.late_deliveries) << "pair " << i;
+      EXPECT_EQ(a.data_corruptions, b.data_corruptions) << "pair " << i;
+      EXPECT_EQ(a.missing, b.missing) << "pair " << i;
+    }
+  }
+  // The single hub aggregates what the legacy build split across its two
+  // per-direction switch instances.
+  EXPECT_EQ(dag.down_switch.flits_in,
+            legacy.down_switch.flits_in + legacy.up_switch.flits_in);
+  EXPECT_EQ(dag.down_switch.flits_forwarded,
+            legacy.down_switch.flits_forwarded +
+                legacy.up_switch.flits_forwarded);
+  EXPECT_EQ(dag.down_switch.dropped_fec,
+            legacy.down_switch.dropped_fec + legacy.up_switch.dropped_fec);
+  EXPECT_EQ(dag.down_switch.dropped_no_route, 0u);
+  // Drops really happened, so the equality above is a stochastic-trajectory
+  // match, not a triviality.
+  EXPECT_GT(dag.down_switch.dropped_fec, 0u);
+}
+
+TEST(DagFabric, StarViaDagMatchesLegacyUnderCxlFailures) {
+  StarConfig config;
+  config.protocol.protocol = Protocol::kCxl;
+  config.pairs = 2;
+  config.seed = 31337;
+  config.burst_injection_rate = 4e-3;
+  config.flits_per_direction = 1'500;
+  config.horizon = 60'000'000;
+  const StarReport legacy = run_star_fabric(config);
+  const StarReport dag = run_star_fabric_via_dag(config);
+  EXPECT_EQ(legacy.total_order_failures(), dag.total_order_failures());
+  EXPECT_EQ(legacy.total_missing(), dag.total_missing());
+  EXPECT_EQ(legacy.total_in_order(), dag.total_in_order());
+}
+
+TEST(DagFabric, DeterministicAcrossRunsAndWorkerCounts) {
+  auto trial = [](std::size_t) {
+    DagScenarioSpec spec = base_spec();
+    spec.burst_injection_rate = 2e-3;
+    spec.flits_per_flow = 400;
+    return run_dag_fabric(make_butterfly_dag(spec));
+  };
+  const auto serial = sim::run_trials(2, trial, /*workers=*/1);
+  const auto sharded = sim::run_trials(2, trial, /*workers=*/2);
+  for (const auto* reports : {&serial, &sharded}) {
+    EXPECT_EQ((*reports)[0].total_in_order(), (*reports)[1].total_in_order());
+    EXPECT_EQ((*reports)[0].total_hop_retransmissions(),
+              (*reports)[1].total_hop_retransmissions());
+  }
+  EXPECT_EQ(serial[0].total_in_order(), sharded[0].total_in_order());
+  EXPECT_EQ(serial[0].total_hop_retransmissions(),
+            sharded[0].total_hop_retransmissions());
+}
+
+}  // namespace
+}  // namespace rxl::transport

@@ -1,0 +1,154 @@
+// Congestion table: incast, hotspot, and trunk-contention fabrics under
+// credit-based flow control, swept across per-hop buffer depths.
+//
+// Every scenario oversubscribes at least one wire, so with bounded buffers
+// the credits decide the achievable goodput: a one-credit hop degenerates
+// to stop-and-wait (~1 flit per round trip), the throughput climbs with the
+// depth until the window covers the hop's bandwidth-delay product, and from
+// there the wire itself is the limit — the provisioning curve the
+// multistage-wormhole literature measures, reproduced on the DNP-style
+// store-and-forward relays. The `credits 0` rows disable flow control
+// (unbounded queues) as the infinite-buffer reference.
+//
+// The budgets deliberately exceed what the bottleneck wires can carry in
+// the fixed horizon, so `delivered` is a goodput measurement, not a
+// completion check; `stalls` counts transmit windows running dry, `ingr hw`
+// the peak per-ingress-port occupancy (never above the configured depth —
+// asserted by the test layer, visible here), and consumed/returned the
+// credit conservation ledger.
+//
+// Output is deterministic (a pure function of the fixed seeds) and byte
+// identical for any RXL_TRIAL_WORKERS; CI diffs the 1-vs-4-worker outputs.
+#include <cstdio>
+#include <string>
+
+#include "rxl/sim/stats.hpp"
+#include "rxl/sim/trial_runner.hpp"
+#include "rxl/transport/dag_fabric.hpp"
+
+using namespace rxl;
+
+namespace {
+
+enum class Family { kIncast, kHotspot, kTrunk };
+
+struct ScenarioCase {
+  const char* name;
+  Family family;
+  std::size_t sources;
+  transport::Protocol protocol;
+  std::size_t credits;  // 0 = flow control off (unbounded reference)
+};
+
+transport::DagConfig build(const ScenarioCase& scenario) {
+  transport::DagScenarioSpec spec;
+  spec.protocol.protocol = scenario.protocol;
+  spec.protocol.coalesce_factor = 10;
+  spec.burst_injection_rate = 1e-3;
+  spec.flits_per_flow = 20'000;  // saturating: more than the horizon carries
+  spec.seed = 311;
+  spec.horizon = 100'000'000;  // 100 us
+  spec.hop_credits = scenario.credits;
+  switch (scenario.family) {
+    case Family::kIncast:
+      return transport::make_incast_dag(spec, scenario.sources);
+    case Family::kHotspot:
+      return transport::make_hotspot_dag(spec, scenario.sources);
+    case Family::kTrunk:
+      break;
+  }
+  return transport::make_trunk_dag(spec, scenario.sources);
+}
+
+struct Row {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t order_failures = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t hop_retransmissions = 0;
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t max_ingress = 0;
+  std::uint64_t max_queue = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t returned = 0;
+};
+
+Row run_scenario(const ScenarioCase& scenario) {
+  const transport::DagReport report =
+      transport::run_dag_fabric(build(scenario));
+  Row row;
+  row.offered = report.total_offered();
+  row.delivered = report.total_in_order();
+  row.order_failures = report.total_order_failures();
+  row.corruptions = report.total_data_corruptions();
+  row.hop_retransmissions = report.total_hop_retransmissions();
+  row.credit_stalls = report.total_credit_stalls();
+  row.max_ingress = report.max_ingress_occupancy();
+  row.max_queue = report.max_relay_queue_depth();
+  row.consumed = report.total_credits_consumed();
+  row.returned = report.total_credits_returned();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "RXL reproduction — congestion under credit-based flow control\n"
+      "=============================================================\n\n"
+      "Burst injection 1e-3 per link per flit, horizon 100 us, saturating\n"
+      "per-flow budgets. incast-4: four sources squeeze onto one sink hop\n"
+      "(4:1); hotspot-4: three of four flows share the hot sink while one\n"
+      "rides a private cold hop; trunk-4: four flows share one relay-relay\n"
+      "trunk. `credits` is the per-hop buffer depth (0 = flow control off,\n"
+      "unbounded queues).\n\n");
+
+  constexpr transport::Protocol kCxl = transport::Protocol::kCxl;
+  constexpr transport::Protocol kRxl = transport::Protocol::kRxl;
+  const ScenarioCase cases[] = {
+      {"incast-4", Family::kIncast, 4, kRxl, 1},
+      {"incast-4", Family::kIncast, 4, kRxl, 2},
+      {"incast-4", Family::kIncast, 4, kRxl, 4},
+      {"incast-4", Family::kIncast, 4, kRxl, 8},
+      {"incast-4", Family::kIncast, 4, kRxl, 16},
+      {"incast-4", Family::kIncast, 4, kRxl, 32},
+      {"incast-4", Family::kIncast, 4, kRxl, 0},
+      {"incast-4", Family::kIncast, 4, kCxl, 8},
+      {"hotspot-4", Family::kHotspot, 4, kRxl, 8},
+      {"hotspot-4", Family::kHotspot, 4, kRxl, 32},
+      {"trunk-4", Family::kTrunk, 4, kRxl, 4},
+      {"trunk-4", Family::kTrunk, 4, kRxl, 16},
+  };
+  constexpr std::size_t kCases = sizeof(cases) / sizeof(cases[0]);
+
+  const auto rows = sim::run_trials(
+      kCases, [&](std::size_t trial) { return run_scenario(cases[trial]); });
+
+  sim::TextTable table({"scenario", "proto", "credits", "offered",
+                        "delivered", "ord fail", "corrupt", "hop retx",
+                        "stalls", "ingr hw", "max queue", "consumed",
+                        "returned"});
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const Row& row = rows[i];
+    table.add_row({cases[i].name, transport::protocol_name(cases[i].protocol),
+                   std::to_string(cases[i].credits),
+                   std::to_string(row.offered), std::to_string(row.delivered),
+                   std::to_string(row.order_failures),
+                   std::to_string(row.corruptions),
+                   std::to_string(row.hop_retransmissions),
+                   std::to_string(row.credit_stalls),
+                   std::to_string(row.max_ingress),
+                   std::to_string(row.max_queue),
+                   std::to_string(row.consumed),
+                   std::to_string(row.returned)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: delivered climbs with the credit depth until the window\n"
+      "covers the bottleneck hop's bandwidth-delay product, then the wire\n"
+      "itself caps it — matching the unbounded reference row, whose queues\n"
+      "(max queue) grow without limit while every bounded row keeps `ingr\n"
+      "hw` <= its configured depth. Zero ord-fail/corrupt columns: however\n"
+      "hard the backpressure bites, delivery stays exactly-once in order.\n");
+  return 0;
+}

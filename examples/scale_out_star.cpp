@@ -7,7 +7,7 @@
 #include <cstdlib>
 
 #include "rxl/sim/stats.hpp"
-#include "rxl/transport/star_fabric.hpp"
+#include "rxl/transport/dag_fabric.hpp"
 
 using namespace rxl;
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       config.flits_per_direction = 20'000;
       config.horizon = 300'000'000;
       const transport::StarReport report =
-          transport::run_star_fabric(config);
+          transport::run_star_fabric_via_dag(config);
 
       std::uint64_t corrupt = 0;
       for (const auto& pair : report.pairs)
@@ -44,8 +44,7 @@ int main(int argc, char** argv) {
       table.add_row(
           {std::to_string(pairs), transport::protocol_name(protocol),
            std::to_string(report.total_in_order()),
-           std::to_string(report.down_switch.dropped_fec +
-                          report.up_switch.dropped_fec),
+           std::to_string(report.hub.dropped_fec),
            std::to_string(report.total_order_failures()),
            std::to_string(report.total_missing()), std::to_string(corrupt)});
     }

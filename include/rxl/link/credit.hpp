@@ -1,0 +1,131 @@
+// Credit-based flow control primitives for one hop direction.
+//
+// A hop's transmitter starts with a window of `credits` equal to the
+// receiver-side buffer depth it is allowed to fill (the relay's bounded
+// store-and-forward queue, or the sink terminal's notional one-deep consume
+// buffer). Each FIRST transmission of a data flit consumes one credit;
+// replays never do — the replayed flit's buffer slot was reserved when the
+// flit was first sent, and the receiver accepts any given sequence number at
+// most once. The receiver returns a credit when the payload LEAVES its
+// bounded buffer (a relay re-originates it downstream; a terminal consumes
+// it at delivery).
+//
+// Returns travel as a CUMULATIVE free-slot count — the credit analogue of
+// the paper's implicit sequence numbers — stamped into the credit word of
+// every outbound control flit (ACKs, NACKs, standalone credit returns). A
+// corrupted return is healed by the next stamped flit, because the count is
+// absolute: the transmitter grants itself the 16-bit difference since the
+// last count it saw, so no incremental update can be lost forever. The only
+// unrecoverable case — the final return of a quiescent hop lost with nothing
+// following it — is closed by the transmitter's credit probe (see
+// Endpoint::on_credit_probe_timer), which asks a silent receiver to
+// re-advertise its current count.
+//
+// The scheme assumes the domain delivers exactly-once: a flit lost FOREVER
+// (never delivered) leaks its slot — no cumulative count can free what will
+// never arrive — and a duplicate delivery frees a slot twice, inflating the
+// window. RXL domains and relay-terminated hops guarantee exactly-once;
+// baseline-CXL domains spliced through a transparent hub do not (§4.1
+// silent-drop masking), which is why plan_dag() rejects credits on that
+// combination.
+#pragma once
+
+#include <cstdint>
+
+namespace rxl::link {
+
+/// Largest representable credit window: cumulative return counts travel in
+/// a 16-bit word and grants are the modular difference between consecutive
+/// counts, so a window must stay below half the count space.
+inline constexpr std::size_t kMaxCreditWindow = 0x7FFF;
+
+/// Transmit-side window: the hop credits this endpoint may spend on new
+/// data flits. `window == 0` disables flow control (an unbounded peer).
+class CreditWindow {
+ public:
+  explicit CreditWindow(std::size_t window) noexcept
+      : enabled_(window > 0), balance_(window) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// True when a new data flit may be sent (always true when disabled).
+  [[nodiscard]] bool available() const noexcept {
+    return !enabled_ || balance_ > 0;
+  }
+  [[nodiscard]] std::size_t balance() const noexcept { return balance_; }
+
+  /// Spends one credit on a first transmission. No-op when disabled.
+  void consume() noexcept {
+    if (!enabled_) return;
+    balance_ -= 1;
+    consumed_ += 1;
+  }
+
+  /// Applies a cumulative free-slot count from the peer; returns the number
+  /// of credits newly granted (0 for a stale or repeated count). Counts are
+  /// compared modulo 2^16, so a window may not exceed 32767 credits.
+  std::size_t on_advertisement(std::uint16_t cumulative_returned) noexcept {
+    if (!enabled_) return 0;
+    const std::uint16_t delta =
+        static_cast<std::uint16_t>(cumulative_returned - grant_cursor_);
+    // The reverse wire is FIFO, so counts only move forward; a large delta
+    // would mean a (impossible) backward jump re-read as a huge advance.
+    if (delta == 0 || delta > 0x7FFF) return 0;
+    grant_cursor_ = cumulative_returned;
+    balance_ += delta;
+    granted_ += delta;
+    return delta;
+  }
+
+  /// Lifetime counters for the conservation invariants.
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] std::uint64_t granted() const noexcept { return granted_; }
+
+ private:
+  bool enabled_;
+  std::size_t balance_;
+  std::uint16_t grant_cursor_ = 0;  ///< last cumulative count applied
+  std::uint64_t consumed_ = 0;
+  std::uint64_t granted_ = 0;
+};
+
+/// Receive-side return ledger: counts buffer slots freed back to the
+/// upstream transmitter and tracks what has already been stamped onto an
+/// outbound control flit.
+class CreditReturnLedger {
+ public:
+  explicit CreditReturnLedger(bool enabled) noexcept : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Records one freed buffer slot (payload left the bounded queue).
+  void on_slot_freed() noexcept {
+    if (!enabled_) return;
+    returned_total_ += 1;
+    returned_ += 1;
+  }
+
+  /// The cumulative free count to stamp into an outbound control flit.
+  [[nodiscard]] std::uint16_t returned_total() const noexcept {
+    return returned_total_;
+  }
+
+  /// Frees not yet carried by any outbound control flit.
+  [[nodiscard]] std::uint16_t unadvertised() const noexcept {
+    return static_cast<std::uint16_t>(returned_total_ - advertised_cursor_);
+  }
+
+  /// Marks the current cumulative count as carried (call when any control
+  /// flit is encoded — every one carries the latest count).
+  void mark_advertised() noexcept { advertised_cursor_ = returned_total_; }
+
+  [[nodiscard]] std::uint64_t returned() const noexcept { return returned_; }
+
+ private:
+  bool enabled_;
+  std::uint16_t returned_total_ = 0;    ///< cumulative, wraps mod 2^16
+  std::uint16_t advertised_cursor_ = 0;  ///< last count stamped on the wire
+  std::uint64_t returned_ = 0;
+};
+
+}  // namespace rxl::link

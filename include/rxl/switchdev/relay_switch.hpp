@@ -12,18 +12,24 @@
 // the re-origination so scoreboards still observe the original stream.
 //
 // Accepting a flit transfers responsibility to this relay (the upstream hop
-// is ACKed and may free its replay buffer); the store-and-forward queue is
-// unbounded, modelling a relay whose buffering is provisioned for the
-// offered load. Queue high-water marks are reported for sizing.
+// is ACKed and may free its replay buffer). The store-and-forward buffering
+// is BOUNDED when the ingress hop runs credit flow control: the upstream
+// transmitter holds `rx_credits` credits for this relay's buffer, each
+// accepted payload occupies one slot until the egress port re-originates it,
+// and the freed slot is returned as a credit on the ingress hop's reverse
+// control path (piggybacked on its ACK stream; see link/credit.hpp). With
+// credits disabled the queues are unbounded, modelling a relay provisioned
+// for the offered load. Per-port occupancy high-water marks and credit
+// stalls are reported for buffer sizing.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "rxl/common/ring_queue.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/link_channel.hpp"
 #include "rxl/transport/config.hpp"
@@ -36,7 +42,15 @@ struct RelayPortStats {
   std::uint64_t relayed_in = 0;   ///< payloads accepted by this port's RX
   std::uint64_t relayed_out = 0;  ///< payloads re-originated by this port's TX
   std::uint64_t dropped_no_route = 0;  ///< accepted flits with no flow route
-  std::uint64_t max_queue_depth = 0;   ///< store-and-forward high-water mark
+  std::uint64_t max_queue_depth = 0;   ///< egress store-and-forward high water
+  /// Peak count of payloads accepted by this INGRESS port still waiting in
+  /// some egress queue — the occupancy the ingress hop's credit window
+  /// bounds (<= the hop's rx_credits whenever flow control is on).
+  std::uint64_t ingress_high_water = 0;
+  std::uint64_t queue_occupancy = 0;  ///< egress queue depth at capture time
+  /// The port endpoint's TX credit-stall episodes (next hop's buffer full),
+  /// mirrored from its EndpointExtraStats for one-stop congestion reports.
+  std::uint64_t credit_stalls = 0;
 };
 
 class RelaySwitch {
@@ -45,7 +59,9 @@ class RelaySwitch {
 
   /// Adds a port with its own link-termination endpoint; returns its index.
   /// The caller wires the port endpoint's channels (set_output + the inbound
-  /// channel's receiver). Ports must all be added before traffic starts.
+  /// channel's receiver). The port config's rx_credits is the bounded
+  /// store-and-forward depth offered to the ingress hop (0 = unbounded).
+  /// Ports must all be added before traffic starts.
   std::size_t add_port(const transport::ProtocolConfig& config);
 
   /// Routes `flow_id` out of `egress_port` (deterministic table routing).
@@ -58,15 +74,25 @@ class RelaySwitch {
     return *ports_[i].endpoint;
   }
   [[nodiscard]] std::size_t ports() const noexcept { return ports_.size(); }
-  [[nodiscard]] const RelayPortStats& port_stats(std::size_t i) const {
-    return ports_[i].stats;
-  }
+  /// Snapshot of the port's counters (live occupancy and endpoint credit
+  /// stalls are sampled at call time).
+  [[nodiscard]] RelayPortStats port_stats(std::size_t i) const;
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
+  /// A payload parked between acceptance and re-origination, remembering
+  /// the ingress port whose buffer slot (credit) it occupies.
+  struct Pending {
+    transport::Endpoint::TxItem item;
+    std::uint32_t ingress = 0;
+  };
   struct Port {
     std::unique_ptr<transport::Endpoint> endpoint;
-    std::deque<transport::Endpoint::TxItem> pending;
+    RingQueue<Pending> pending;
+    /// Payloads accepted by this port still queued on some egress port —
+    /// the credit-bounded occupancy (distinct from `pending`, which holds
+    /// what this port will transmit regardless of where it entered).
+    std::size_t in_queue = 0;
     RelayPortStats stats;
   };
 

@@ -54,6 +54,25 @@ struct ProtocolConfig {
   /// NACK if no forward progress happens within this window — the standard
   /// recovery for a NACK (or the replay's head) lost in transit.
   TimePs nack_retransmit_timeout = 1'000'000;  // 1 us
+
+  /// --- Credit-based flow control (link/credit.hpp) ---
+  /// Credits this endpoint may spend on new data flits: the receive-buffer
+  /// depth at the peer it is allowed to fill. 0 = unlimited (flow control
+  /// off; the pre-credit behaviour, byte-identical on the wire).
+  std::size_t tx_credits = 0;
+  /// Receive-buffer depth this endpoint advertises for incoming data (the
+  /// peer's tx_credits). 0 disables credit-return accounting. The bound is
+  /// enforced by the peer's window; this side tracks/advertises the frees.
+  std::size_t rx_credits = 0;
+  /// Owed-credit threshold that triggers a standalone credit-return flit
+  /// when no ACK/NACK has carried the count first. 0 = auto:
+  /// min(coalesce_factor, max(1, rx_credits / 2)) — deep buffers let the
+  /// count piggyback on the regular ACK flow, shallow ones return eagerly
+  /// enough to keep the stop-and-wait window moving.
+  unsigned credit_return_batch = 0;
+  /// RX-side: flush unadvertised credits as a standalone return flit if no
+  /// control flit has carried them within this window.
+  TimePs credit_return_timeout = 1'000'000;  // 1 us
 };
 
 [[nodiscard]] constexpr const char* protocol_name(Protocol protocol) noexcept {

@@ -63,6 +63,13 @@ struct DagEdge {
   /// Forward-channel error-stream seed; drawn from the fabric seeder when
   /// unset.
   std::optional<std::uint64_t> seed;
+  /// Bounded-buffer depth (= credit window) at the termination this edge's
+  /// data flows INTO, overriding DagConfig::hop_credits for the hop whose
+  /// last edge this is. Must be >= 1 when set (plan_dag rejects 0: a
+  /// zero-credit hop could never transmit), <= link::kMaxCreditWindow, and
+  /// set only on a hop's FINAL edge — plan_dag rejects credits on an edge
+  /// entering a hub, where they would be silently inert.
+  std::optional<std::size_t> credits;
 };
 
 struct DagFlow {
@@ -85,6 +92,11 @@ struct DagConfig {
   TimePs horizon = 0;
   /// Fan-out validation limit: maximum incident edges per node.
   std::size_t max_ports = 64;
+  /// Default per-hop bounded-buffer depth (= credit window) applied to
+  /// every ISN domain direction; DagEdge::credits overrides per edge.
+  /// 0 = flow control off everywhere (unbounded relay queues — the
+  /// pre-credit behaviour, byte-identical on the wire).
+  std::size_t hop_credits = 0;
 };
 
 /// The compiled routing plan: what plan_dag() validates and run_dag_fabric()
@@ -113,7 +125,15 @@ struct DagPlan {
 /// bad indices, self/duplicate edges, fan-out beyond max_ports, terminals
 /// with more than one uplink/downlink, hub-adjacent hubs, idle hubs, a
 /// cyclic switching core, unreachable flows, several flows originating at
-/// one terminal, or two ISN domains multiplexed onto one hub egress edge.
+/// one terminal, two ISN domains multiplexed onto one hub egress edge, or
+/// a credit configuration that could deadlock (an explicit zero-credit
+/// edge, a window beyond link::kMaxCreditWindow, or credits on a CXL
+/// domain crossing a transparent hub — §4.1 silent drops would leak
+/// window slots forever). The acyclic switching
+/// core plus >= 1 credit per flow-controlled hop is the plan-time
+/// deadlock-safety argument: sinks always drain, so by induction along the
+/// (finite, acyclic) downstream order every relay egress eventually
+/// re-originates, frees a slot, and returns a credit upstream.
 [[nodiscard]] DagPlan plan_dag(const DagConfig& config);
 
 /// Per-hop link statistics: both terminations and both channels of one ISN
@@ -178,6 +198,16 @@ struct DagReport {
   /// per-hop retry domains did that the end-to-end scoreboards never see.
   [[nodiscard]] std::uint64_t total_hop_retransmissions() const;
   [[nodiscard]] std::uint64_t total_relay_no_route_drops() const;
+  /// --- Credit flow control aggregates (all zero with credits off) ---
+  [[nodiscard]] std::uint64_t total_credit_stalls() const;
+  [[nodiscard]] std::uint64_t total_credits_consumed() const;
+  [[nodiscard]] std::uint64_t total_credits_returned() const;
+  [[nodiscard]] std::uint64_t total_credits_granted() const;
+  /// Peak per-ingress-port occupancy across all relays: the quantity the
+  /// credit windows bound (<= the hop's configured depth).
+  [[nodiscard]] std::uint64_t max_ingress_occupancy() const;
+  /// Peak egress store-and-forward queue depth across all relays.
+  [[nodiscard]] std::uint64_t max_relay_queue_depth() const;
 };
 
 /// Builds, runs, and reports a DAG fabric simulation.
@@ -193,6 +223,8 @@ struct DagScenarioSpec {
   std::uint64_t flits_per_flow = 0;
   std::uint64_t seed = 1;
   TimePs horizon = 0;
+  /// Per-hop bounded-buffer depth / credit window (0 = flow control off).
+  std::size_t hop_credits = 0;
 };
 
 /// Chain A -> R1 -> ... -> Rk -> B (k = `relays`, so k+1 hops), one flow.
@@ -212,17 +244,42 @@ struct DagScenarioSpec {
 /// flows of unequal path length sharing the trunk hop.
 [[nodiscard]] DagConfig make_asymmetric_dag(const DagScenarioSpec& spec);
 
+/// --- Congestion scenarios (bounded buffers + credits decide throughput) --
+
+/// Incast: `sources` terminals, each with a private hop into one relay
+/// that multiplexes every flow onto a single egress hop to one sink. The
+/// egress wire is oversubscribed `sources`:1, so with finite buffers the
+/// relay backpressures every source through its ingress hop's credits.
+[[nodiscard]] DagConfig make_incast_dag(const DagScenarioSpec& spec,
+                                        std::size_t sources);
+
+/// Hotspot: `sources` terminals feed one relay; all but the last flow
+/// target the hot sink (sharing its egress hop) while the last rides to a
+/// private cold sink — backpressure must throttle the hot flows without
+/// starving the uncontended one.
+[[nodiscard]] DagConfig make_hotspot_dag(const DagScenarioSpec& spec,
+                                         std::size_t sources);
+
+/// Trunk contention: `sources` terminals -> R1 -> R2 -> `sources` sinks;
+/// every flow squeezes through the single R1 -> R2 trunk hop (the
+/// multistage-network bottleneck whose buffer provisioning the Stergiou
+/// study measures), then fans back out to private sinks.
+[[nodiscard]] DagConfig make_trunk_dag(const DagScenarioSpec& spec,
+                                       std::size_t sources);
+
 /// The legacy star fabric expressed as a one-hub DAG: N terminal pairs
-/// around a single transparent hub, seeds drawn in the legacy order so a
-/// run is trajectory-identical to run_star_fabric() on the same StarConfig
-/// (when switch_internal_error_rate is zero; with internal corruption the
-/// legacy build uses one RNG stream per direction and the single hub uses
-/// one in total). The equivalence test pins this field-for-field.
+/// around a single transparent hub, seeds drawn in the order the deleted
+/// hard-coded builder used (down switch, up switch, then per pair the four
+/// channels), so a run is trajectory-identical to the legacy wiring on the
+/// same StarConfig (when switch_internal_error_rate is zero; with internal
+/// corruption the legacy build used one RNG stream per direction and the
+/// single hub uses one in total). The equivalence test pins this against
+/// counters recorded from the last legacy build, field-for-field.
 [[nodiscard]] DagConfig make_star_dag(const StarConfig& config);
 
 /// Runs make_star_dag() and repackages the DagReport as a StarReport.
-/// down_switch carries the hub's aggregate counters (the one-hub DAG has no
-/// per-direction split); up_switch is left zeroed.
+/// `hub` carries the shared switch's aggregate counters (what the legacy
+/// build split across its two per-direction switch instances).
 [[nodiscard]] StarReport run_star_fabric_via_dag(const StarConfig& config);
 
 }  // namespace rxl::transport

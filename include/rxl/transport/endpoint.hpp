@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "rxl/link/credit.hpp"
 #include "rxl/link/link_layer.hpp"
 #include "rxl/link/reorder_buffer.hpp"
 #include "rxl/link/retry_buffer.hpp"
@@ -45,6 +46,19 @@ struct EndpointExtraStats {
   /// deliveries) and skipped forward. The flit is lost — an application-
   /// visible Fail_order consequence of the §4.1 design.
   std::uint64_t forward_resyncs = 0;
+  /// --- Credit flow control (all zero on hops without credits) ---
+  /// Stall episodes: the TX wanted to transmit and found the window empty.
+  /// The gate runs before the (side-effecting) source is consulted, so the
+  /// window emptying exactly on a stream's final flit can record one extra
+  /// end-of-stream episode; the probes that follow are intentional — they
+  /// restore the window even when the stream is done, which is what closes
+  /// the lost-final-return conservation hole.
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t credits_consumed = 0; ///< first transmissions charged
+  std::uint64_t credits_granted = 0;  ///< returns that reached this TX
+  std::uint64_t credits_returned = 0; ///< RX buffer slots freed upstream
+  std::uint64_t credit_adverts = 0;   ///< standalone credit-return flits
+  std::uint64_t credit_probes = 0;    ///< stalled-TX re-advertise requests
 };
 
 class Endpoint {
@@ -88,6 +102,19 @@ class Endpoint {
     relay_source_ = std::move(source);
   }
 
+  /// Defers credit return: received payloads enter an external bounded
+  /// buffer (a relay's store-and-forward queue) whose owner calls
+  /// return_credits() when slots free, instead of the default terminal
+  /// behaviour of returning each credit at delivery (instant consumption).
+  void set_deferred_credit_return(bool deferred) noexcept {
+    deferred_credit_return_ = deferred;
+  }
+
+  /// Returns `n` receive-buffer credits to the upstream transmitter (no-op
+  /// when the hop runs without flow control). Called by the bounded-buffer
+  /// owner when payloads leave the buffer.
+  void return_credits(std::size_t n);
+
   /// Starts the transmit loop (idempotent; also used to re-kick after the
   /// source gains data).
   void kick();
@@ -117,6 +144,9 @@ class Endpoint {
   [[nodiscard]] std::size_t debug_retry_buffer_size() const noexcept {
     return retry_buffer_.size();
   }
+  [[nodiscard]] std::size_t debug_credit_balance() const noexcept {
+    return credit_window_.balance();
+  }
   /// Selective repeat only: reorder-buffer statistics (§5 sizing).
   [[nodiscard]] const link::ReorderBuffer* reorder_buffer() const noexcept {
     return reorder_buffer_.has_value() ? &*reorder_buffer_ : nullptr;
@@ -134,6 +164,13 @@ class Endpoint {
   void on_retry_timer();
   void arm_ack_timer();
   void on_ack_timer();
+
+  // Credit flow control (see link/credit.hpp for the scheme).
+  [[nodiscard]] unsigned credit_return_batch() const noexcept;
+  void flush_credit_returns();
+  void on_credit_timer();
+  void on_credit_probe_timer();
+  void process_credit_word(std::uint16_t credit_word);
 
   // RX path.
   void rx_data(sim::FlitEnvelope&& envelope);
@@ -166,6 +203,9 @@ class Endpoint {
   bool kick_scheduled_ = false;
   sim::Timer retry_timer_;
   TimePs last_ack_progress_ = 0;
+  link::CreditWindow credit_window_;
+  bool credit_stalled_ = false;  ///< TX wanted a new flit, window was empty
+  sim::Timer credit_probe_timer_;
 
   // RX state.
   std::uint16_t expected_seq_ = 0;   ///< ESeqNum
@@ -181,6 +221,9 @@ class Endpoint {
   /// threshold the expected flit is declared unrecoverable (see
   /// forward_resyncs above).
   unsigned episode_ahead_discards_ = 0;
+  link::CreditReturnLedger credit_return_;
+  bool deferred_credit_return_ = false;
+  sim::Timer credit_timer_;
   /// Allocated only in kSelectiveRepeat mode (CXL only).
   std::optional<link::ReorderBuffer> reorder_buffer_;
   DeliverFn deliver_;

@@ -25,6 +25,20 @@
 
 namespace rxl::transport {
 
+/// Control-flit sub-commands carried in the FSN field when ReplayCmd is
+/// kSeqNum (a combination no pre-credit control flit ever used: plain
+/// sequence numbers only appear on data flits). Both stacks treat them the
+/// same way; they only travel on hops with credit flow control enabled.
+inline constexpr std::uint16_t kCreditAdvertFsn = 0;  ///< pure credit return
+inline constexpr std::uint16_t kCreditProbeFsn = 1;   ///< "re-advertise" ask
+
+/// Every control flit carries a 16-bit credit word — the sender's
+/// cumulative count of receive-buffer slots freed back to its peer (see
+/// link/credit.hpp) — in the first two payload bytes, where the CRC covers
+/// it. Hops without flow control always stamp zero, which keeps the wire
+/// image byte-identical to the pre-credit encoding.
+[[nodiscard]] std::uint16_t control_credit_word(const flit::Flit& flit) noexcept;
+
 /// Result of an endpoint receive-side check.
 struct RxCheck {
   bool crc_ok = false;
@@ -52,9 +66,12 @@ class FlitCodec {
                                        std::uint16_t seq,
                                        std::optional<std::uint16_t> acknum) const;
 
-  /// Builds a standalone control flit (ACK or NACK; empty payload).
+  /// Builds a standalone control flit (ACK, NACK, or credit management).
+  /// `credit_word` is the sender's cumulative freed-slot count (0 on hops
+  /// without flow control, leaving the payload all-zero as before).
   [[nodiscard]] flit::Flit encode_control(flit::ReplayCmd command,
-                                          std::uint16_t fsn) const;
+                                          std::uint16_t fsn,
+                                          std::uint16_t credit_word = 0) const;
 
   /// Endpoint receive check for a data flit whose FEC stage already passed.
   /// @param expected_seq the receiver's ESeqNum (used only by RXL's ISN

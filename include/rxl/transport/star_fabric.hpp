@@ -7,6 +7,12 @@
 // shared switch, so one pair's drops never perturb another pair's ordering
 // (a property the tests pin) while contention and error handling are
 // shared.
+//
+// The hard-coded wiring this header used to build is gone: the star is one
+// canned DagFabric topology now (make_star_dag / run_star_fabric_via_dag in
+// dag_fabric.hpp), pinned trajectory-identical to the deleted legacy
+// builder by recorded-counter equivalence tests. Only the configuration and
+// report types live here.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,6 @@
 
 #include "rxl/switchdev/port_switch.hpp"
 #include "rxl/transport/config.hpp"
-#include "rxl/transport/endpoint.hpp"
 #include "rxl/txn/scoreboard.hpp"
 
 namespace rxl::transport {
@@ -41,8 +46,9 @@ struct PairReport {
 
 struct StarReport {
   std::vector<PairReport> pairs;
-  switchdev::PortSwitchStats down_switch;  ///< hosts -> devices direction
-  switchdev::PortSwitchStats up_switch;    ///< devices -> hosts direction
+  /// The shared switch's aggregate counters, both directions (the legacy
+  /// build split these across two per-direction switch instances).
+  switchdev::PortSwitchStats hub;
   std::uint64_t slots = 0;
 
   /// Aggregate Fail_order events across all pairs and directions.
@@ -50,8 +56,5 @@ struct StarReport {
   [[nodiscard]] std::uint64_t total_missing() const;
   [[nodiscard]] std::uint64_t total_in_order() const;
 };
-
-/// Builds, runs, and reports an N-pair star fabric simulation.
-[[nodiscard]] StarReport run_star_fabric(const StarConfig& config);
 
 }  // namespace rxl::transport

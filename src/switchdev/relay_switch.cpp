@@ -20,6 +20,10 @@ std::size_t RelaySwitch::add_port(const transport::ProtocolConfig& config) {
                                                         std::move(port_name));
   ports_.push_back(std::move(port));
   transport::Endpoint& endpoint = *ports_[index].endpoint;
+  // The relay, not the endpoint, owns the bounded store-and-forward buffer:
+  // a slot frees (and its credit returns upstream) only when the egress
+  // port re-originates the payload, not when the ingress delivers it.
+  endpoint.set_deferred_credit_return(true);
   endpoint.set_deliver([this, index](std::span<const std::uint8_t> payload,
                                      const sim::FlitEnvelope& envelope) {
     on_delivered(index, payload, envelope);
@@ -28,10 +32,13 @@ std::size_t RelaySwitch::add_port(const transport::ProtocolConfig& config) {
       [this, index]() -> std::optional<transport::Endpoint::TxItem> {
         Port& port = ports_[index];
         if (port.pending.empty()) return std::nullopt;
-        transport::Endpoint::TxItem item = std::move(port.pending.front());
-        port.pending.pop_front();
+        Pending pending = port.pending.pop_front();
         port.stats.relayed_out += 1;
-        return item;
+        Port& in_port = ports_[pending.ingress];
+        assert(in_port.in_queue > 0);
+        in_port.in_queue -= 1;
+        in_port.endpoint->return_credits(1);
+        return std::move(pending.item);
       });
   return index;
 }
@@ -40,6 +47,13 @@ void RelaySwitch::set_route(std::uint16_t flow_id, std::size_t egress_port) {
   assert(egress_port < ports_.size());
   if (routes_.size() <= flow_id) routes_.resize(flow_id + 1u, kNoRoute);
   routes_[flow_id] = static_cast<std::uint32_t>(egress_port);
+}
+
+RelayPortStats RelaySwitch::port_stats(std::size_t i) const {
+  RelayPortStats stats = ports_[i].stats;
+  stats.queue_occupancy = ports_[i].pending.size();
+  stats.credit_stalls = ports_[i].endpoint->extra_stats().credit_stalls;
+  return stats;
 }
 
 void RelaySwitch::on_delivered(std::size_t ingress,
@@ -51,16 +65,28 @@ void RelaySwitch::on_delivered(std::size_t ingress,
       envelope.flow_id < routes_.size() ? routes_[envelope.flow_id] : kNoRoute;
   if (egress == kNoRoute) {
     in_port.stats.dropped_no_route += 1;
+    // The drop vacates the buffer slot the upstream transmitter charged
+    // for this payload; return the credit or the hop would leak its
+    // window one misroute at a time.
+    in_port.endpoint->return_credits(1);
     return;
   }
   Port& out_port = ports_[egress];
-  transport::Endpoint::TxItem item;
-  item.payload.assign(payload.begin(), payload.end());
-  item.truth_index = envelope.truth_index;
-  item.flow_id = envelope.flow_id;
-  out_port.pending.push_back(std::move(item));
+  Pending pending;
+  pending.item.payload.assign(payload.begin(), payload.end());
+  pending.item.truth_index = envelope.truth_index;
+  pending.item.flow_id = envelope.flow_id;
+  pending.ingress = static_cast<std::uint32_t>(ingress);
+  out_port.pending.push_back(std::move(pending));
   if (out_port.pending.size() > out_port.stats.max_queue_depth)
     out_port.stats.max_queue_depth = out_port.pending.size();
+  in_port.in_queue += 1;
+  if (in_port.in_queue > in_port.stats.ingress_high_water)
+    in_port.stats.ingress_high_water = in_port.in_queue;
+  // With credit flow control on the ingress hop, the upstream window makes
+  // overflow impossible: occupancy can never exceed the advertised depth.
+  assert(in_port.endpoint->config().rx_credits == 0 ||
+         in_port.in_queue <= in_port.endpoint->config().rx_credits);
   out_port.endpoint->kick();
 }
 

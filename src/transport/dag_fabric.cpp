@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rxl/link/credit.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/transport/traffic.hpp"
 
@@ -57,9 +58,47 @@ DagPlan plan_dag(const DagConfig& config) {
       message += label(edge.src);
       invalid(std::move(message));
     }
+    if (edge.credits.has_value()) {
+      // Deadlock safety: the acyclicity check below guarantees progress
+      // only if every flow-controlled hop can hold at least one flit
+      // (sinks drain unconditionally, so one credit per hop suffices for
+      // induction along the acyclic downstream order). A zero-credit hop
+      // could never transmit at all.
+      if (*edge.credits == 0) {
+        std::string message = "edge ";
+        message += std::to_string(e);
+        message += " into ";
+        message += label(edge.dst);
+        message += " declares a zero-credit buffer (the hop could never "
+                   "transmit); use at least one credit, or leave the edge "
+                   "at the DagConfig default";
+        invalid(std::move(message));
+      }
+      if (*edge.credits > link::kMaxCreditWindow) {
+        std::string message = "edge ";
+        message += std::to_string(e);
+        message += " credit window exceeds link::kMaxCreditWindow";
+        invalid(std::move(message));
+      }
+      // A hop's buffer lives at its terminating end, so credits are
+      // resolved from the edge INTO the receiving termination. An edge
+      // entering a hub never terminates a hop — credits set there would
+      // be silently inert, so refuse them instead.
+      if (kind(edge.dst) == DagNodeKind::kHub) {
+        std::string message = "edge ";
+        message += std::to_string(e);
+        message += " enters hub ";
+        message += label(edge.dst);
+        message += ", which does not terminate the hop; set credits on "
+                   "the hub's egress edge (into the receiving termination)";
+        invalid(std::move(message));
+      }
+    }
     out_edges[edge.src].push_back(static_cast<std::uint16_t>(e));
     in_edges[edge.dst].push_back(static_cast<std::uint16_t>(e));
   }
+  if (config.hop_credits > link::kMaxCreditWindow)
+    invalid("hop_credits exceeds link::kMaxCreditWindow");
   {
     std::vector<std::pair<std::uint16_t, std::uint16_t>> pairs;
     pairs.reserve(config.edges.size());
@@ -297,6 +336,35 @@ DagPlan plan_dag(const DagConfig& config) {
     }
   }
 
+  // Credit accounting assumes exactly-once delivery within the domain: a
+  // slot is charged per first transmission and freed per delivery. A CXL
+  // domain spliced through a transparent hub breaks that — the hub drops
+  // silently and a following ack-carrying flit masks the gap (§4.1), so a
+  // lost flit leaks its credit forever (the cumulative-count healing cannot
+  // recover a slot that will never be delivered) and a duplicate delivery
+  // inflates the window past the advertised depth. Relay-terminated hops
+  // and hubless CXL domains detect every drop at the receiving endpoint
+  // and stay exactly-once, so only the hub-crossing CXL combination is
+  // rejected.
+  if (config.protocol.protocol == Protocol::kCxl) {
+    for (const DagPlan::Segment& segment : plan.segments) {
+      if (!segment.hub.has_value()) continue;
+      const std::size_t credits =
+          config.edges[segment.ingress_edge].credits.value_or(
+              config.hop_credits);
+      if (credits > 0) {
+        std::string message =
+            "credit flow control on the CXL domain through hub ";
+        message += label(*segment.hub);
+        message += " would leak credits on silently dropped flits (§4.1 "
+                   "losses are invisible to the cumulative return count); "
+                   "use RXL, terminate the hop at a relay, or disable "
+                   "credits on this edge";
+        invalid(std::move(message));
+      }
+    }
+  }
+
   // Pair mutually reverse segments into bidirectional domains. At most one
   // candidate can exist (duplicate edges are rejected above and hubs are
   // matched exactly), so a linear scan suffices.
@@ -426,11 +494,27 @@ DagReport run_dag_fabric(const DagConfig& config) {
     }
     const ProtocolConfig& protocol =
         paired ? config.protocol : unpaired_protocol;
+    // Credit flow control per domain direction: the window for data flowing
+    // toward a termination equals the bounded-buffer depth configured on
+    // the edge entering it (the relay's store-and-forward slots, or the
+    // sink terminal's notional consume buffer).
+    auto resolved_credits = [&](const DagPlan::Segment& s) {
+      return config.edges[s.ingress_edge].credits.value_or(config.hop_credits);
+    };
+    ProtocolConfig protocol_a = protocol;
+    ProtocolConfig protocol_b = protocol;
+    protocol_a.tx_credits = resolved_credits(segment);
+    protocol_b.rx_credits = protocol_a.tx_credits;
+    if (paired) {
+      const DagPlan::Segment& mate = plan.segments[*segment.mate];
+      protocol_b.tx_credits = resolved_credits(mate);
+      protocol_a.rx_credits = protocol_b.tx_credits;
+    }
 
     Domain domain;
     domain.rep = static_cast<std::uint32_t>(si);
-    domain.a = attach(segment.origin, domain.rep, protocol);
-    domain.b = attach(segment.peer, domain.rep, protocol);
+    domain.a = attach(segment.origin, domain.rep, protocol_a);
+    domain.b = attach(segment.peer, domain.rep, protocol_b);
     domain.forward = channels[segment.egress_edge].get();
     if (paired) {
       domain.reverse = channels[plan.segments[*segment.mate].egress_edge].get();
@@ -649,6 +733,52 @@ std::uint64_t DagReport::total_relay_no_route_drops() const {
   return total;
 }
 
+std::uint64_t DagReport::total_credit_stalls() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.credit_stalls + hop.b_extra.credit_stalls;
+  return total;
+}
+
+std::uint64_t DagReport::total_credits_consumed() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.credits_consumed + hop.b_extra.credits_consumed;
+  return total;
+}
+
+std::uint64_t DagReport::total_credits_returned() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.credits_returned + hop.b_extra.credits_returned;
+  return total;
+}
+
+std::uint64_t DagReport::total_credits_granted() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.credits_granted + hop.b_extra.credits_granted;
+  return total;
+}
+
+std::uint64_t DagReport::max_ingress_occupancy() const {
+  std::uint64_t highest = 0;
+  for (const DagRelayReport& relay : relays)
+    for (const DagRelayPort& port : relay.ports)
+      if (port.stats.ingress_high_water > highest)
+        highest = port.stats.ingress_high_water;
+  return highest;
+}
+
+std::uint64_t DagReport::max_relay_queue_depth() const {
+  std::uint64_t highest = 0;
+  for (const DagRelayReport& relay : relays)
+    for (const DagRelayPort& port : relay.ports)
+      if (port.stats.max_queue_depth > highest)
+        highest = port.stats.max_queue_depth;
+  return highest;
+}
+
 // ---------------------------------------------------------------------------
 // Canned topologies
 // ---------------------------------------------------------------------------
@@ -660,6 +790,7 @@ DagConfig base_scenario_config(const DagScenarioSpec& spec) {
   config.protocol = spec.protocol;
   config.seed = spec.seed;
   config.horizon = spec.horizon;
+  config.hop_credits = spec.hop_credits;
   return config;
 }
 
@@ -795,6 +926,96 @@ DagConfig make_asymmetric_dag(const DagScenarioSpec& spec) {
   return config;
 }
 
+DagConfig make_incast_dag(const DagScenarioSpec& spec, std::size_t sources) {
+  assert(sources >= 2);
+  DagConfig config = base_scenario_config(spec);
+  for (std::size_t i = 0; i < sources; ++i) {
+    std::string name = "src";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  const std::uint16_t relay = static_cast<std::uint16_t>(sources);
+  const std::uint16_t sink = static_cast<std::uint16_t>(sources + 1);
+  config.nodes.push_back(DagNode{"relay", DagNodeKind::kRelay, {}});
+  config.nodes.push_back(DagNode{"sink", DagNodeKind::kTerminal, {}});
+  config.max_ports = std::max(config.max_ports, sources + 1);
+  for (std::size_t i = 0; i < sources; ++i)
+    config.edges.push_back(
+        scenario_edge(spec, static_cast<std::uint16_t>(i), relay));
+  config.edges.push_back(scenario_edge(spec, relay, sink));
+  for (std::size_t i = 0; i < sources; ++i)
+    config.flows.push_back(DagFlow{static_cast<std::uint16_t>(i), sink,
+                                   spec.flits_per_flow, 0x1CA0 + i});
+  return config;
+}
+
+DagConfig make_hotspot_dag(const DagScenarioSpec& spec, std::size_t sources) {
+  assert(sources >= 2);
+  DagConfig config = base_scenario_config(spec);
+  for (std::size_t i = 0; i < sources; ++i) {
+    std::string name = "src";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  const std::uint16_t relay = static_cast<std::uint16_t>(sources);
+  const std::uint16_t hot = static_cast<std::uint16_t>(sources + 1);
+  const std::uint16_t cold = static_cast<std::uint16_t>(sources + 2);
+  config.nodes.push_back(DagNode{"relay", DagNodeKind::kRelay, {}});
+  config.nodes.push_back(DagNode{"hot", DagNodeKind::kTerminal, {}});
+  config.nodes.push_back(DagNode{"cold", DagNodeKind::kTerminal, {}});
+  config.max_ports = std::max(config.max_ports, sources + 2);
+  for (std::size_t i = 0; i < sources; ++i)
+    config.edges.push_back(
+        scenario_edge(spec, static_cast<std::uint16_t>(i), relay));
+  config.edges.push_back(scenario_edge(spec, relay, hot));
+  config.edges.push_back(scenario_edge(spec, relay, cold));
+  // Flows 0..sources-2 pile onto the hot sink; the last flow has the cold
+  // egress hop to itself and must keep moving under the others' backlog.
+  for (std::size_t i = 0; i + 1 < sources; ++i)
+    config.flows.push_back(DagFlow{static_cast<std::uint16_t>(i), hot,
+                                   spec.flits_per_flow, 0x407u + i});
+  config.flows.push_back(DagFlow{static_cast<std::uint16_t>(sources - 1),
+                                 cold, spec.flits_per_flow, 0xC07D});
+  return config;
+}
+
+DagConfig make_trunk_dag(const DagScenarioSpec& spec, std::size_t sources) {
+  assert(sources >= 2);
+  DagConfig config = base_scenario_config(spec);
+  for (std::size_t i = 0; i < sources; ++i) {
+    std::string name = "src";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  const std::uint16_t r1 = static_cast<std::uint16_t>(sources);
+  const std::uint16_t r2 = static_cast<std::uint16_t>(sources + 1);
+  config.nodes.push_back(DagNode{"r1", DagNodeKind::kRelay, {}});
+  config.nodes.push_back(DagNode{"r2", DagNodeKind::kRelay, {}});
+  for (std::size_t i = 0; i < sources; ++i) {
+    std::string name = "dst";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  config.max_ports = std::max(config.max_ports, sources + 1);
+  for (std::size_t i = 0; i < sources; ++i)
+    config.edges.push_back(
+        scenario_edge(spec, static_cast<std::uint16_t>(i), r1));
+  config.edges.push_back(scenario_edge(spec, r1, r2));
+  for (std::size_t i = 0; i < sources; ++i)
+    config.edges.push_back(scenario_edge(
+        spec, r2, static_cast<std::uint16_t>(sources + 2 + i)));
+  for (std::size_t i = 0; i < sources; ++i)
+    config.flows.push_back(
+        DagFlow{static_cast<std::uint16_t>(i),
+                static_cast<std::uint16_t>(sources + 2 + i),
+                spec.flits_per_flow, 0x7A00u + i});
+  return config;
+}
+
 // ---------------------------------------------------------------------------
 // The legacy star fabric as a one-hub DAG
 // ---------------------------------------------------------------------------
@@ -811,8 +1032,9 @@ DagConfig make_star_dag(const StarConfig& config) {
   const std::size_t n = config.pairs;
   // Legacy seed draw order: down switch, up switch, then per pair the four
   // channels (host uplink, device downlink, device uplink, host downlink).
-  // Replaying those draws as explicit seeds makes a clean-hub run
-  // trajectory-identical to run_star_fabric().
+  // Replaying those draws as explicit seeds keeps a clean-hub run
+  // trajectory-identical to the deleted hard-coded star builder (pinned by
+  // the recorded-counter equivalence tests).
   Xoshiro256 seeder(config.seed);
   const std::uint64_t hub_seed = seeder();
   (void)seeder();  // the legacy up-switch stream; the single hub has one
@@ -874,7 +1096,7 @@ StarReport run_star_fabric_via_dag(const StarConfig& config) {
     report.pairs[i].downstream = dag.flows[i].scoreboard;
     report.pairs[i].upstream = dag.flows[n + i].scoreboard;
   }
-  if (!dag.hubs.empty()) report.down_switch = dag.hubs.front().stats;
+  if (!dag.hubs.empty()) report.hub = dag.hubs.front().stats;
   return report;
 }
 

@@ -1,5 +1,6 @@
 #include "rxl/transport/endpoint.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -23,10 +24,14 @@ Endpoint::Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
       codec_(config.protocol),
       retry_buffer_(config.retry_buffer_capacity),
       retry_timer_(queue, [this] { on_retry_timer(); }),
+      credit_window_(config.tx_credits),
+      credit_probe_timer_(queue, [this] { on_credit_probe_timer(); }),
       last_verified_(kSeqMask),  // "-1": nothing verified yet
       ack_scheduler_(config.coalesce_factor),
       ack_timer_(queue, [this] { on_ack_timer(); }),
-      nack_timer_(queue, [this] { on_nack_timer(); }) {
+      nack_timer_(queue, [this] { on_nack_timer(); }),
+      credit_return_(config.rx_credits > 0),
+      credit_timer_(queue, [this] { on_credit_timer(); }) {
   if (config_.retry_mode == RetryMode::kSelectiveRepeat) {
     // §5: selective repeat needs explicit sequence numbers to place
     // out-of-order flits; ISN's pass/fail check cannot. This is the
@@ -130,6 +135,19 @@ bool Endpoint::send_one() {
       stats_.tx_stalls += 1;
       return false;
     }
+    if (!credit_window_.available()) {
+      // The downstream buffer is full as far as this window knows: only a
+      // credit return may unblock new data. Replays above are exempt — a
+      // replayed flit's slot was charged at first transmission. The probe
+      // timer recovers the hop if the peer's final return was corrupted.
+      if (!credit_stalled_) {
+        extra_.credit_stalls += 1;
+        credit_stalled_ = true;
+        if (config_.retry_timeout > 0)
+          credit_probe_timer_.arm(config_.retry_timeout);
+      }
+      return false;
+    }
     if (relay_source_) {
       if (auto item = relay_source_()) {
         send_data_flit(item->payload, item->truth_index, item->flow_id);
@@ -173,6 +191,11 @@ void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
   const bool pushed = retry_buffer_.push(seq, canonical, truth_index, flow_id);
   assert(pushed);
   (void)pushed;
+  if (credit_window_.enabled()) {
+    assert(credit_window_.available());  // send_one gated on the window
+    credit_window_.consume();
+    extra_.credits_consumed += 1;
+  }
   if (retry_buffer_.size() == 1) last_ack_progress_ = queue_.now();
   arm_retry_timer();
 
@@ -182,7 +205,15 @@ void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
 }
 
 void Endpoint::enqueue_control(flit::ReplayCmd command, std::uint16_t fsn) {
-  control_queue_.push_back(codec_.encode_control(command, fsn));
+  // Every control flit carries the receive side's cumulative freed-slot
+  // count, so ACKs and NACKs double as credit returns; hops without flow
+  // control stamp zero, keeping their wire image unchanged.
+  std::uint16_t credit_word = 0;
+  if (credit_return_.enabled()) {
+    credit_word = credit_return_.returned_total();
+    credit_return_.mark_advertised();
+  }
+  control_queue_.push_back(codec_.encode_control(command, fsn, credit_word));
 }
 
 void Endpoint::begin_replay_from(std::uint16_t seq) {
@@ -231,6 +262,71 @@ void Endpoint::on_ack_timer() {
     enqueue_control(flit::ReplayCmd::kAck, *acknum);
     kick();
   }
+}
+
+// --------------------------------------------------------------------------
+// Credit flow control
+// --------------------------------------------------------------------------
+
+unsigned Endpoint::credit_return_batch() const noexcept {
+  if (config_.credit_return_batch > 0) return config_.credit_return_batch;
+  // Auto: deep buffers piggyback on the regular ACK cadence; shallow ones
+  // return after half a window so a stop-and-wait hop keeps moving.
+  const std::size_t half_window = std::max<std::size_t>(
+      1, config_.rx_credits / 2);
+  return static_cast<unsigned>(std::min<std::size_t>(
+      ack_scheduler_.coalesce_factor(), half_window));
+}
+
+void Endpoint::return_credits(std::size_t n) {
+  if (!credit_return_.enabled() || n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) credit_return_.on_slot_freed();
+  extra_.credits_returned += n;
+  flush_credit_returns();
+}
+
+void Endpoint::flush_credit_returns() {
+  const std::uint16_t owed = credit_return_.unadvertised();
+  if (owed == 0) return;
+  if (owed >= credit_return_batch()) {
+    extra_.credit_adverts += 1;
+    enqueue_control(flit::ReplayCmd::kSeqNum, kCreditAdvertFsn);
+    kick();
+  } else if (!credit_timer_.armed() && config_.credit_return_timeout > 0) {
+    credit_timer_.arm(config_.credit_return_timeout);
+  }
+}
+
+void Endpoint::on_credit_timer() {
+  // Stragglers below the batch threshold that no ACK/NACK picked up in
+  // time: return them standalone so the peer's window cannot strand.
+  if (credit_return_.unadvertised() == 0) return;
+  extra_.credit_adverts += 1;
+  enqueue_control(flit::ReplayCmd::kSeqNum, kCreditAdvertFsn);
+  kick();
+}
+
+void Endpoint::on_credit_probe_timer() {
+  if (!credit_stalled_) return;
+  // Still starved a full retry timeout after the stall began: the peer's
+  // latest return may have been corrupted in transit and nothing else is
+  // flowing to heal the cumulative count. Ask it to re-advertise.
+  extra_.credit_probes += 1;
+  enqueue_control(flit::ReplayCmd::kSeqNum, kCreditProbeFsn);
+  kick();
+  if (config_.retry_timeout > 0) credit_probe_timer_.arm(config_.retry_timeout);
+}
+
+void Endpoint::process_credit_word(std::uint16_t credit_word) {
+  if (!credit_window_.enabled()) return;
+  const std::size_t granted = credit_window_.on_advertisement(credit_word);
+  if (granted == 0) return;
+  extra_.credits_granted += granted;
+  if (credit_stalled_) {
+    credit_stalled_ = false;
+    credit_probe_timer_.cancel();
+  }
+  kick();  // window space opened
 }
 
 // --------------------------------------------------------------------------
@@ -385,6 +481,7 @@ void Endpoint::rx_control(const flit::Flit& flit) {
     return;
   }
   const flit::FlitHeader header = flit.header();
+  process_credit_word(control_credit_word(flit));
   switch (header.replay_cmd) {
     case flit::ReplayCmd::kAck:
       process_acknum(header.fsn);
@@ -393,7 +490,15 @@ void Endpoint::rx_control(const flit::Flit& flit) {
     case flit::ReplayCmd::kNackSingle:
       process_nack(header.fsn);
       break;
-    default:
+    case flit::ReplayCmd::kSeqNum:
+      // Credit-management control flit: the credit word above already
+      // delivered any return; a probe additionally asks this side to
+      // re-advertise its cumulative count (its last return may be lost).
+      if (header.fsn == kCreditProbeFsn && credit_return_.enabled()) {
+        extra_.credit_adverts += 1;
+        enqueue_control(flit::ReplayCmd::kSeqNum, kCreditAdvertFsn);
+        kick();
+      }
       break;
   }
 }
@@ -479,6 +584,15 @@ void Endpoint::deliver(const sim::FlitEnvelope& envelope) {
 }
 
 void Endpoint::after_delivery() {
+  // Terminal consumption frees the notional one-deep receive buffer at
+  // once; count the free BEFORE scheduling the ACK so an ACK due this very
+  // delivery carries the freshest cumulative count (piggybacked return).
+  const bool auto_return =
+      credit_return_.enabled() && !deferred_credit_return_;
+  if (auto_return) {
+    credit_return_.on_slot_freed();
+    extra_.credits_returned += 1;
+  }
   ack_scheduler_.on_delivered(seq_prev(expected_seq_));
   if (config_.ack_policy == link::AckPolicy::kStandalone) {
     if (auto acknum = ack_scheduler_.consume()) {
@@ -488,6 +602,7 @@ void Endpoint::after_delivery() {
   } else if (ack_scheduler_.pending()) {
     arm_ack_timer();
   }
+  if (auto_return) flush_credit_returns();
 }
 
 void Endpoint::debug_arm_ack(std::uint16_t acknum) {

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rxl/common/bytes.hpp"
+
 namespace rxl::transport {
+
+std::uint16_t control_credit_word(const flit::Flit& flit) noexcept {
+  return load_le16(flit.payload(), 0);
+}
 
 FlitCodec::FlitCodec(Protocol protocol) : protocol_(protocol), isn_() {}
 
@@ -38,13 +44,15 @@ flit::Flit FlitCodec::encode_data(std::span<const std::uint8_t> payload,
 }
 
 flit::Flit FlitCodec::encode_control(flit::ReplayCmd command,
-                                     std::uint16_t fsn) const {
+                                     std::uint16_t fsn,
+                                     std::uint16_t credit_word) const {
   flit::Flit out;
   flit::FlitHeader header;
   header.type = flit::FlitType::kControl;
   header.replay_cmd = command;
   header.fsn = fsn & kSeqMask;
   out.set_header(header);
+  store_le16(out.payload(), 0, credit_word);
   // Control flits sit outside the data sequence stream in both stacks:
   // plain CRC, no ISN fold.
   out.set_crc_field(isn_.encode_plain(out.crc_protected_region()));

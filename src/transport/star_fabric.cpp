@@ -1,25 +1,6 @@
 #include "rxl/transport/star_fabric.hpp"
 
-#include <cassert>
-#include <memory>
-
-#include "rxl/sim/event_queue.hpp"
-#include "rxl/transport/traffic.hpp"
-
 namespace rxl::transport {
-namespace {
-
-std::unique_ptr<phy::ErrorModel> make_errors(const StarConfig& config) {
-  return make_error_model(config.ber, config.burst_injection_rate,
-                          config.burst_symbols);
-}
-
-std::vector<std::uint8_t> make_payload(std::uint64_t index,
-                                       std::uint64_t salt) {
-  return make_stream_payload(index, salt);
-}
-
-}  // namespace
 
 std::uint64_t StarReport::total_order_failures() const {
   std::uint64_t total = 0;
@@ -42,115 +23,6 @@ std::uint64_t StarReport::total_in_order() const {
   for (const PairReport& pair : pairs)
     total += pair.downstream.in_order + pair.upstream.in_order;
   return total;
-}
-
-StarReport run_star_fabric(const StarConfig& config) {
-  assert(config.horizon > 0);
-  assert(config.pairs > 0);
-  sim::EventQueue queue;
-  Xoshiro256 seeder(config.seed);
-  const std::size_t n = config.pairs;
-
-  // One switch instance per traffic direction (a real switch's two
-  // directions share no error-handling state anyway).
-  switchdev::PortSwitch::Config sw_config;
-  sw_config.protocol = config.protocol.protocol;
-  sw_config.internal_error_rate = config.switch_internal_error_rate;
-  sw_config.forward_latency = config.switch_latency;
-  sw_config.ports = n;
-  switchdev::PortSwitch down_switch(queue, sw_config, seeder());
-  switchdev::PortSwitch up_switch(queue, sw_config, seeder());
-
-  std::vector<std::unique_ptr<Endpoint>> hosts;
-  std::vector<std::unique_ptr<Endpoint>> devices;
-  std::vector<std::unique_ptr<sim::LinkChannel>> channels;
-  std::vector<txn::StreamScoreboard> down_boards(n);
-  std::vector<txn::StreamScoreboard> up_boards(n);
-
-  auto attach = [&](Endpoint& tx, Endpoint& rx, txn::StreamScoreboard& board,
-                    std::uint64_t budget, std::uint64_t salt) {
-    txn::StreamScoreboard* board_ptr = &board;
-    tx.set_source([board_ptr, budget, salt](std::uint64_t index)
-                      -> std::optional<std::vector<std::uint8_t>> {
-      if (index >= budget) return std::nullopt;
-      auto payload = make_payload(index, salt);
-      board_ptr->register_sent(index, payload);
-      return payload;
-    });
-    rx.set_deliver([board_ptr](std::span<const std::uint8_t> payload,
-                               const sim::FlitEnvelope& envelope) {
-      board_ptr->on_deliver(payload, envelope);
-    });
-  };
-
-  for (std::size_t i = 0; i < n; ++i) {
-    hosts.push_back(std::make_unique<Endpoint>(queue, config.protocol,
-                                               "host" + std::to_string(i)));
-    devices.push_back(std::make_unique<Endpoint>(queue, config.protocol,
-                                                 "dev" + std::to_string(i)));
-    Endpoint& host = *hosts.back();
-    Endpoint& device = *devices.back();
-
-    // host i -> down_switch (ingress) ... down_switch port i -> device i.
-    channels.push_back(std::make_unique<sim::LinkChannel>(
-        queue, make_errors(config), seeder(), config.slot,
-        config.propagation_latency));
-    sim::LinkChannel* host_uplink = channels.back().get();
-    channels.push_back(std::make_unique<sim::LinkChannel>(
-        queue, make_errors(config), seeder(), config.slot,
-        config.propagation_latency));
-    sim::LinkChannel* device_downlink = channels.back().get();
-    host.set_output(host_uplink);
-    host.set_dest_port(static_cast<std::uint16_t>(i));
-    host_uplink->set_receiver([&down_switch](sim::FlitEnvelope&& envelope) {
-      down_switch.on_flit(std::move(envelope));
-    });
-    down_switch.set_output(i, device_downlink);
-    Endpoint* device_ptr = &device;
-    device_downlink->set_receiver([device_ptr](sim::FlitEnvelope&& envelope) {
-      device_ptr->on_flit(std::move(envelope));
-    });
-
-    // device i -> up_switch ... up_switch port i -> host i.
-    channels.push_back(std::make_unique<sim::LinkChannel>(
-        queue, make_errors(config), seeder(), config.slot,
-        config.propagation_latency));
-    sim::LinkChannel* device_uplink = channels.back().get();
-    channels.push_back(std::make_unique<sim::LinkChannel>(
-        queue, make_errors(config), seeder(), config.slot,
-        config.propagation_latency));
-    sim::LinkChannel* host_downlink = channels.back().get();
-    device.set_output(device_uplink);
-    device.set_dest_port(static_cast<std::uint16_t>(i));
-    device_uplink->set_receiver([&up_switch](sim::FlitEnvelope&& envelope) {
-      up_switch.on_flit(std::move(envelope));
-    });
-    up_switch.set_output(i, host_downlink);
-    Endpoint* host_ptr = &host;
-    host_downlink->set_receiver([host_ptr](sim::FlitEnvelope&& envelope) {
-      host_ptr->on_flit(std::move(envelope));
-    });
-
-    attach(host, device, down_boards[i], config.flits_per_direction,
-           0xD000 + i);
-    attach(device, host, up_boards[i], config.flits_per_direction,
-           0xB000 + i);
-  }
-
-  for (auto& host : hosts) host->kick();
-  for (auto& device : devices) device->kick();
-  queue.run_until(config.horizon);
-
-  StarReport report;
-  report.slots = config.horizon / config.slot;
-  report.down_switch = down_switch.stats();
-  report.up_switch = up_switch.stats();
-  report.pairs.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    report.pairs[i].downstream = down_boards[i].finalize();
-    report.pairs[i].upstream = up_boards[i].finalize();
-  }
-  return report;
 }
 
 }  // namespace rxl::transport

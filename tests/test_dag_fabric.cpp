@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "rxl/link/credit.hpp"
 #include "rxl/sim/trial_runner.hpp"
 #include "rxl/transport/star_fabric.hpp"
 
@@ -165,6 +166,70 @@ TEST(DagFabric, RejectsAdjacentHubs) {
   config.edges.push_back(plain_edge(1, 2));
   config.edges.push_back(plain_edge(2, 3));
   config.flows.push_back(DagFlow{0, 3, 10, 1});
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+}
+
+TEST(DagFabric, RejectsZeroCreditEdge) {
+  // Deadlock safety: a zero-credit hop could never transmit; with the
+  // acyclic core, >= 1 credit per hop guarantees progress, so the plan
+  // refuses the one configuration that breaks the induction.
+  DagConfig config = make_chain_dag(base_spec(), 1);
+  config.edges[1].credits = 0;
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+  config.edges[1].credits = 1;  // the minimum is accepted
+  EXPECT_NO_THROW(plan_dag(config));
+}
+
+TEST(DagFabric, RejectsCreditsOnHubIngressEdges) {
+  // A hop's buffer lives at its terminating end, so the per-edge override
+  // belongs on the edge INTO the receiving termination. On an edge
+  // entering a hub it would be silently inert; the plan refuses it.
+  StarConfig star;
+  star.pairs = 2;
+  star.flits_per_direction = 10;
+  star.horizon = 1'000'000;
+  DagConfig config = make_star_dag(star);
+  config.edges[0].credits = 4;  // host0's uplink INTO the hub
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+  config.edges[0].credits.reset();
+  config.edges[1].credits = 4;  // the hub's egress into dev0: meaningful
+  EXPECT_NO_THROW(plan_dag(config));
+}
+
+TEST(DagFabric, RejectsCxlCreditsAcrossTransparentHubs) {
+  // Credit accounting assumes exactly-once delivery; a CXL domain through
+  // a hub loses flits silently (§4.1), which would leak window slots
+  // forever. The plan refuses the combination; the same topology is fine
+  // under RXL, with credits off, or with the hub-crossing edge exempted.
+  StarConfig star;
+  star.pairs = 2;
+  star.flits_per_direction = 10;
+  star.horizon = 1'000'000;
+  star.protocol.protocol = Protocol::kCxl;
+  DagConfig config = make_star_dag(star);
+  config.hop_credits = 4;
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+  config.protocol.protocol = Protocol::kRxl;
+  EXPECT_NO_THROW(plan_dag(config));
+  config.protocol.protocol = Protocol::kCxl;
+  config.hop_credits = 0;
+  EXPECT_NO_THROW(plan_dag(config));
+  // CXL credits on relay-terminated hops stay legal: every hop detects
+  // its own drops, so the exactly-once assumption holds.
+  DagConfig chain = make_chain_dag(base_spec(), 2);
+  chain.protocol.protocol = Protocol::kCxl;
+  chain.hop_credits = 4;
+  EXPECT_NO_THROW(plan_dag(chain));
+}
+
+TEST(DagFabric, RejectsOversizedCreditWindows) {
+  // Cumulative credit returns travel in a 16-bit word; windows beyond half
+  // the count space would make grants ambiguous.
+  DagConfig config = make_chain_dag(base_spec(), 1);
+  config.edges[0].credits = link::kMaxCreditWindow + 1;
+  EXPECT_THROW(plan_dag(config), std::invalid_argument);
+  config.edges[0].credits.reset();
+  config.hop_credits = link::kMaxCreditWindow + 1;
   EXPECT_THROW(plan_dag(config), std::invalid_argument);
 }
 
@@ -389,7 +454,13 @@ TEST(DagFabric, RetryStormOnOneHopLeavesNeighborsUntouched) {
 // Star fabric re-expressed as a one-hub DAG
 // --------------------------------------------------------------------------
 
-TEST(DagFabric, StarViaDagMatchesLegacyStarExactly) {
+TEST(DagFabric, StarViaDagMatchesRecordedLegacyStarExactly) {
+  // The hard-coded star builder is gone; these constants were recorded from
+  // the last build that still carried it, on a run the live legacy-vs-DAG
+  // equivalence test had pinned field-for-field (burst drops included, so
+  // the match is a stochastic-trajectory reproduction, not a triviality).
+  // Any drift in the replayed seed-draw order, the endpoint protocol, or
+  // the channel error streams lands here.
   StarConfig config;
   config.protocol.protocol = Protocol::kRxl;
   config.protocol.coalesce_factor = 10;
@@ -398,44 +469,34 @@ TEST(DagFabric, StarViaDagMatchesLegacyStarExactly) {
   config.burst_injection_rate = 2e-3;
   config.flits_per_direction = 1'500;
   config.horizon = 60'000'000;
-  // Two independent sims (legacy wiring vs one-hub DAG), sharded.
-  const auto legacy_reports = sim::run_trials(2, [&](std::size_t trial) {
-    return trial == 0 ? run_star_fabric(config)
-                      : run_star_fabric_via_dag(config);
-  });
-  const StarReport& legacy = legacy_reports[0];
-  const StarReport& dag = legacy_reports[1];
-  ASSERT_EQ(legacy.pairs.size(), dag.pairs.size());
-  for (std::size_t i = 0; i < legacy.pairs.size(); ++i) {
+  const StarReport dag = run_star_fabric_via_dag(config);
+  ASSERT_EQ(dag.pairs.size(), 3u);
+  for (std::size_t i = 0; i < dag.pairs.size(); ++i) {
     for (const auto direction :
          {&PairReport::downstream, &PairReport::upstream}) {
-      const txn::StreamScoreboard::Stats& a = legacy.pairs[i].*direction;
-      const txn::StreamScoreboard::Stats& b = dag.pairs[i].*direction;
-      EXPECT_EQ(a.delivered, b.delivered) << "pair " << i;
-      EXPECT_EQ(a.in_order, b.in_order) << "pair " << i;
-      EXPECT_EQ(a.order_violations, b.order_violations) << "pair " << i;
-      EXPECT_EQ(a.duplicates, b.duplicates) << "pair " << i;
-      EXPECT_EQ(a.late_deliveries, b.late_deliveries) << "pair " << i;
-      EXPECT_EQ(a.data_corruptions, b.data_corruptions) << "pair " << i;
-      EXPECT_EQ(a.missing, b.missing) << "pair " << i;
+      const txn::StreamScoreboard::Stats& s = dag.pairs[i].*direction;
+      EXPECT_EQ(s.delivered, 1'500u) << "pair " << i;
+      EXPECT_EQ(s.in_order, 1'500u) << "pair " << i;
+      EXPECT_EQ(s.order_violations, 0u) << "pair " << i;
+      EXPECT_EQ(s.duplicates, 0u) << "pair " << i;
+      EXPECT_EQ(s.late_deliveries, 0u) << "pair " << i;
+      EXPECT_EQ(s.data_corruptions, 0u) << "pair " << i;
+      EXPECT_EQ(s.missing, 0u) << "pair " << i;
     }
   }
   // The single hub aggregates what the legacy build split across its two
-  // per-direction switch instances.
-  EXPECT_EQ(dag.down_switch.flits_in,
-            legacy.down_switch.flits_in + legacy.up_switch.flits_in);
-  EXPECT_EQ(dag.down_switch.flits_forwarded,
-            legacy.down_switch.flits_forwarded +
-                legacy.up_switch.flits_forwarded);
-  EXPECT_EQ(dag.down_switch.dropped_fec,
-            legacy.down_switch.dropped_fec + legacy.up_switch.dropped_fec);
-  EXPECT_EQ(dag.down_switch.dropped_no_route, 0u);
-  // Drops really happened, so the equality above is a stochastic-trajectory
-  // match, not a triviality.
-  EXPECT_GT(dag.down_switch.dropped_fec, 0u);
+  // per-direction switch instances (recorded sums: 5285+4926 in, 10 + 3
+  // FEC drops).
+  EXPECT_EQ(dag.hub.flits_in, 10'211u);
+  EXPECT_EQ(dag.hub.flits_forwarded, 10'198u);
+  EXPECT_EQ(dag.hub.dropped_fec, 13u);
+  EXPECT_EQ(dag.hub.dropped_no_route, 0u);
 }
 
-TEST(DagFabric, StarViaDagMatchesLegacyUnderCxlFailures) {
+TEST(DagFabric, StarViaDagMatchesRecordedLegacyUnderCxlFailures) {
+  // Recorded from the same last-legacy build: a CXL star whose §4.1
+  // failures (order violations, duplicates, losses) the DAG wiring must
+  // keep reproducing event-for-event.
   StarConfig config;
   config.protocol.protocol = Protocol::kCxl;
   config.pairs = 2;
@@ -443,11 +504,24 @@ TEST(DagFabric, StarViaDagMatchesLegacyUnderCxlFailures) {
   config.burst_injection_rate = 4e-3;
   config.flits_per_direction = 1'500;
   config.horizon = 60'000'000;
-  const StarReport legacy = run_star_fabric(config);
   const StarReport dag = run_star_fabric_via_dag(config);
-  EXPECT_EQ(legacy.total_order_failures(), dag.total_order_failures());
-  EXPECT_EQ(legacy.total_missing(), dag.total_missing());
-  EXPECT_EQ(legacy.total_in_order(), dag.total_in_order());
+  EXPECT_EQ(dag.total_order_failures(), 5u);
+  EXPECT_EQ(dag.total_missing(), 46u);
+  EXPECT_EQ(dag.total_in_order(), 5'950u);
+  ASSERT_EQ(dag.pairs.size(), 2u);
+  EXPECT_EQ(dag.pairs[0].upstream.delivered, 1'480u);
+  EXPECT_EQ(dag.pairs[0].upstream.in_order, 1'479u);
+  EXPECT_EQ(dag.pairs[0].upstream.order_violations, 1u);
+  EXPECT_EQ(dag.pairs[0].upstream.missing, 20u);
+  EXPECT_EQ(dag.pairs[1].downstream.delivered, 1'475u);
+  EXPECT_EQ(dag.pairs[1].downstream.in_order, 1'471u);
+  EXPECT_EQ(dag.pairs[1].downstream.duplicates, 1u);
+  EXPECT_EQ(dag.pairs[1].downstream.late_deliveries, 1u);
+  EXPECT_EQ(dag.pairs[1].downstream.missing, 26u);
+  EXPECT_EQ(dag.pairs[1].upstream.delivered, 1'501u);
+  EXPECT_EQ(dag.pairs[1].upstream.duplicates, 1u);
+  EXPECT_EQ(dag.hub.flits_in, 8'308u);
+  EXPECT_EQ(dag.hub.dropped_fec, 27u);
 }
 
 TEST(DagFabric, DeterministicAcrossRunsAndWorkerCounts) {

@@ -134,7 +134,7 @@ void flit68_section() {
       p68.ber = ber;
       p68.flit_bits = 68 * 8;
       p68.crc_escape = 0x1p-16;
-      p68.flits_per_second = kFlitsPerSecond * 256.0 / 68.0;
+      p68.flits_per_second = analysis::kFlitsPerSecond * 256.0 / 68.0;
       const double fer = analysis::flit_error_rate(p68);
       const double ud = fer * p68.crc_escape;  // no FEC stage
       table.add_row({"68 B (CRC-16, no FEC)", sim::sci(ber, 0), sim::sci(fer),

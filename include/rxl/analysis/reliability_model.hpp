@@ -7,12 +7,18 @@
 // error rates — see bench_fig8_fit).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "rxl/common/types.hpp"
 
 namespace rxl::analysis {
+
+/// Flits per second on a saturated x16 CXL 3.0 link (500 M flits/s, §7.1.1).
+/// Lives here rather than common/types.hpp: rates are analysis inputs, and
+/// the protocol/sim state headers carry no floating point (rxl-lint R4).
+inline constexpr double kFlitsPerSecond = 500e6;
 
 struct ReliabilityParams {
   double ber = 1e-6;                 ///< CXL 3.0 BER tolerance (§2.2)

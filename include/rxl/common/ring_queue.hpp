@@ -33,7 +33,9 @@ class RingQueue {
     return slots_[head_];
   }
 
-  T pop_front() {
+  /// Pops and returns the front element. [[nodiscard]]: a dropped pop is a
+  /// lost flit/credit — callers that intend to drop must say so explicitly.
+  [[nodiscard]] T pop_front() {
     assert(count_ > 0);
     T value = std::move(slots_[head_]);
     head_ = (head_ + 1) & (slots_.size() - 1);

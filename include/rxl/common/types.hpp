@@ -34,10 +34,4 @@ inline constexpr std::uint16_t kSeqBits = 10;
 inline constexpr std::uint16_t kSeqModulus = 1u << kSeqBits;  // 1024
 inline constexpr std::uint16_t kSeqMask = kSeqModulus - 1;
 
-/// Flits per second on a saturated x16 CXL 3.0 link (500 M flits/s, §7.1.1).
-inline constexpr double kFlitsPerSecond = 500e6;
-
-/// Hours per FIT window: FIT counts failures per 1e9 device-hours.
-inline constexpr double kFitHours = 1e9;
-
 }  // namespace rxl

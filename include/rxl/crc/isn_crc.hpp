@@ -13,6 +13,7 @@
 // streaming CRC so no message copy is made.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 

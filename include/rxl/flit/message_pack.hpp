@@ -13,6 +13,7 @@
 //   bytes 3..4   : tag (per-CQID stream position, LE)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -30,6 +30,7 @@
 // combination.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace rxl::link {
@@ -64,7 +65,8 @@ class CreditWindow {
   /// Applies a cumulative free-slot count from the peer; returns the number
   /// of credits newly granted (0 for a stale or repeated count). Counts are
   /// compared modulo 2^16, so a window may not exceed 32767 credits.
-  std::size_t on_advertisement(std::uint16_t cumulative_returned) noexcept {
+  [[nodiscard]] std::size_t on_advertisement(
+      std::uint16_t cumulative_returned) noexcept {
     if (!enabled_) return 0;
     const std::uint16_t delta =
         static_cast<std::uint16_t>(cumulative_returned - grant_cursor_);

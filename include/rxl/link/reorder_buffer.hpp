@@ -8,6 +8,7 @@
 // belongs, which is the trade-off the paper accepts for RXL.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>

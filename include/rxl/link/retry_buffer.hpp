@@ -6,6 +6,7 @@
 // coalescing means acks arrive later, which means more flits held here.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>

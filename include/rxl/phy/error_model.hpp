@@ -14,9 +14,11 @@
 // without changing observable behaviour.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "rxl/common/rng.hpp"

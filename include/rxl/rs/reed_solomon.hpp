@@ -14,6 +14,7 @@
 // for n = 85).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -10,7 +10,10 @@
 // shallower than a binary heap and sifted with plain block copies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rxl/common/types.hpp"
@@ -60,6 +63,9 @@ class EventQueue {
     Event event;
   };
   static_assert(std::is_trivially_copyable_v<Item>);
+  static_assert(sizeof(Item) == 64,
+                "heap items are sized to one cache line: 8 B timestamp + "
+                "8 B FIFO order + 48 B InlineEvent");
 
   /// Strict total order: (when, order) with order unique per item.
   static bool earlier(const Item& a, const Item& b) noexcept {

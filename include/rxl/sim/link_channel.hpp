@@ -8,8 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "rxl/common/ring_queue.hpp"
 #include "rxl/common/rng.hpp"
@@ -17,6 +18,7 @@
 #include "rxl/flit/flit.hpp"
 #include "rxl/phy/error_model.hpp"
 #include "rxl/sim/event_queue.hpp"
+#include "rxl/sim/inline_delegate.hpp"
 
 namespace rxl::sim {
 
@@ -47,6 +49,15 @@ struct FlitEnvelope {
   std::uint16_t flow_id = 0;
 };
 
+// Envelopes park in RingQueues (channel in-flight, switch forwarding,
+// reorder buffers) and are moved by plain block copy: they must stay
+// trivially copyable, and their footprint is budgeted at the 256 B wire
+// image plus one cache line of simulation metadata.
+static_assert(std::is_trivially_copyable_v<FlitEnvelope>,
+              "FlitEnvelope rides RingQueues as a block copy");
+static_assert(sizeof(FlitEnvelope) <= kFlitBytes + 64,
+              "FlitEnvelope metadata outgrew its one-cache-line budget");
+
 /// Per-channel occupancy and error statistics.
 struct ChannelStats {
   std::uint64_t flits_carried = 0;
@@ -57,7 +68,10 @@ struct ChannelStats {
 
 class LinkChannel {
  public:
-  using DeliverFn = std::function<void(FlitEnvelope&&)>;
+  /// Non-allocating receiver hook: one delivery per simulated flit makes
+  /// this a hot-path callable, so captures must be trivially copyable and
+  /// fit inline (rxl-lint R3: no std::function here).
+  using DeliverFn = InlineDelegate<void(FlitEnvelope&&)>;
 
   /// @param queue    shared simulation kernel.
   /// @param errors   error process applied per transiting flit (owned).

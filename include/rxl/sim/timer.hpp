@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "rxl/sim/event_queue.hpp"
@@ -57,6 +58,10 @@ class Timer {
       timer->callback_();
     }
   };
+
+  static_assert(std::is_trivially_copyable_v<Fire> && sizeof(Fire) == 16,
+                "a pending deadline is a 16-byte {timer, generation} record "
+                "— rearming must never allocate");
 
   EventQueue& queue_;
   InlineEvent callback_;

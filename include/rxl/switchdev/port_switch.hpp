@@ -13,6 +13,7 @@
 // concurrent flits to one port serialise in its slot queue.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -23,6 +23,7 @@
 // stalls are reported for buffer sizing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>

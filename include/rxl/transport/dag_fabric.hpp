@@ -27,6 +27,7 @@
 // limits, domain exclusivity) before anything is instantiated.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

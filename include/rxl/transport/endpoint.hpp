@@ -14,12 +14,14 @@
 //    the next arriving flit, whatever its header carries.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rxl/link/credit.hpp"

@@ -7,6 +7,7 @@
 // scoreboards (Fail_order / Fail_data).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -15,6 +15,7 @@
 // report types live here.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -6,8 +6,10 @@
 // they live here instead of being copied per harness.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "rxl/common/bytes.hpp"

@@ -6,8 +6,8 @@
 // domains whose messages are packed many-per-flit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "rxl/common/rng.hpp"

@@ -2,7 +2,6 @@
 
 #include <bit>
 #include <span>
-#include <unordered_set>
 
 #include "rxl/common/bytes.hpp"
 #include "rxl/crc/crc64.hpp"

@@ -101,7 +101,9 @@ void TxnScoreboard::on_deliver_payload(
           it->second = expected + 1u;
         }
         break;
-      default:
+      case flit::MessageKind::kEmpty:
+      case flit::MessageKind::kResponse:
+      default:  // kind is a raw wire byte: corruption can yield any value
         if (message.tag >= expected) it->second = message.tag + 1u;
         break;
     }

@@ -1,0 +1,11 @@
+// rxl-lint golden fixture: must pass every rule even when scanned with
+// --treat-as include/rxl/common/ring_queue.hpp, a path that sits in BOTH
+// the hot-path (R3) and protocol/sim state header (R4) scopes.
+#include <cstddef>
+#include <cstdint>
+
+inline std::uint32_t saturating_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t wide = static_cast<std::uint64_t>(a) + b;
+  return wide > 0xFFFFFFFFull ? 0xFFFFFFFFu
+                              : static_cast<std::uint32_t>(wide);
+}

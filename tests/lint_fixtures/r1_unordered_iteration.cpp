@@ -1,0 +1,14 @@
+// rxl-lint golden fixture: must trigger R1 exactly once (the range-for).
+// Keyed lookups on unordered containers are fine; iterating one feeds
+// pointer-order nondeterminism into whatever consumes the loop.
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& entry : table) total += entry.second;
+  return total;
+}
+
+bool keyed_lookup_is_allowed(const std::unordered_map<int, int>& table) {
+  return table.count(7) != 0;
+}

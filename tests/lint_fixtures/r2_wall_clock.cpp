@@ -1,0 +1,9 @@
+// rxl-lint golden fixture: must trigger R2 exactly once.
+// Ambient entropy makes a trial irreproducible; all randomness flows
+// through the seeded rxl::common RNG.
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device entropy;
+  return entropy();
+}

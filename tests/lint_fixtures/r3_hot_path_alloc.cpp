@@ -1,0 +1,9 @@
+// rxl-lint golden fixture: must trigger R3 exactly once when scanned with
+// --treat-as <a hot-path file>. std::function heap-allocates any capture
+// beyond its SSO buffer — the event kernel uses InlineEvent/InlineDelegate
+// so heap sifts stay plain block copies.
+#include <functional>
+
+struct EventSlot {
+  std::function<void()> callback;
+};

@@ -1,0 +1,9 @@
+// rxl-lint golden fixture: must trigger R4 exactly once when scanned with
+// --treat-as <a protocol/sim state header>. Timestamps and credits are
+// integral; floating point belongs in analysis/ and bench/.
+#include <cstdint>
+
+struct LinkBudget {
+  std::uint64_t window_slots = 0;
+  double occupancy_estimate = 0.0;
+};

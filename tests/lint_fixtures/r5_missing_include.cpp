@@ -1,0 +1,6 @@
+// rxl-lint golden fixture: must trigger R5 exactly once when scanned with
+// --treat-as <a public header>: std::vector is used but <vector> is not
+// directly included, so the header would only compile by include-order luck.
+#include <cstdint>
+
+std::vector<std::uint8_t> make_buffer();

@@ -1,0 +1,9 @@
+// rxl-lint golden fixture: the inline suppression silences the single R2
+// finding, so this file must scan clean — the suppression syntax itself is
+// under test.
+#include <random>
+
+unsigned sanctioned_entropy() {
+  std::random_device entropy;  // rxl-lint: allow(R2) fixture demo
+  return entropy();
+}

@@ -1,0 +1,130 @@
+// Stress regressions for the sharded Monte Carlo trial runner.
+//
+// test_event_queue.cpp pins the basic contracts (worker-count-invariant
+// merges, exception propagation, env resolution) at small scale. This suite
+// leans on the same contracts under contention: many workers fighting over
+// the trial counter, non-trivial per-trial simulations, exceptions thrown
+// while other workers are mid-trial, and the RXL_TRIAL_WORKERS=8
+// configuration the TSan CI job runs. Every test here doubles as a
+// ThreadSanitizer target — the tsan preset runs this binary with the
+// worker pool saturated.
+
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/sim/event_queue.hpp"
+#include "rxl/sim/timer.hpp"
+#include "rxl/sim/trial_runner.hpp"
+
+namespace {
+
+using rxl::TimePs;
+using rxl::Xoshiro256;
+using rxl::sim::EventQueue;
+using rxl::sim::Timer;
+using rxl::sim::run_trials;
+using rxl::sim::trial_workers;
+
+/// A denser universe than test_event_queue's checksum trial: interleaved
+/// one-shot events, a self-rearming timer, and cancellations, all folded
+/// into an order-sensitive checksum. Any cross-trial state sharing or merge
+/// reordering changes the result.
+std::uint64_t dense_simulation(std::size_t trial) {
+  EventQueue queue;
+  Xoshiro256 rng(trial * 0xD1B54A32D192ED03ull + 0x2545F4914F6CDD1Dull);
+  std::uint64_t checksum = ~trial;
+  std::uint64_t sequence = 0;
+  struct Periodic {
+    EventQueue& queue;
+    std::uint64_t* checksum;
+    std::uint64_t* sequence;
+    int remaining;
+    Timer timer;
+    Periodic(EventQueue& q, std::uint64_t* c, std::uint64_t* s, int n)
+        : queue(q), checksum(c), sequence(s), remaining(n),
+          timer(q, [this] { fire(); }) {}
+    void fire() {
+      *checksum = *checksum * 1099511628211ull ^ (queue.now() + ++*sequence);
+      if (--remaining > 0) timer.arm(37);
+    }
+  } periodic(queue, &checksum, &sequence, 64);
+  periodic.timer.arm(11);
+  for (int i = 0; i < 400; ++i) {
+    queue.schedule(rng.bounded(2'000), [&queue, &checksum, &sequence] {
+      checksum = checksum * 0x100000001B3ull ^ (queue.now() ^ ++sequence);
+    });
+    if (i % 16 == 0) periodic.timer.arm(rng.bounded(500) + 1);
+  }
+  queue.run();
+  return checksum;
+}
+
+TEST(TrialRunnerStress, EightWorkersMergeBitIdenticallyToSerial) {
+  // The TSan CI configuration: more workers than cores, every worker
+  // running full simulations. 96 trials keeps several refills of the
+  // work-stealing counter in play.
+  const auto serial = run_trials(96, dense_simulation, /*workers=*/1);
+  const auto sharded = run_trials(96, dense_simulation, /*workers=*/8);
+  ASSERT_EQ(serial.size(), 96u);
+  EXPECT_EQ(serial, sharded);
+  // Re-running sharded must be a pure function of the indices too.
+  EXPECT_EQ(sharded, run_trials(96, dense_simulation, /*workers=*/8));
+}
+
+TEST(TrialRunnerStress, EnvConfiguredEightWorkerRunMatchesExplicit) {
+  // The CI jobs drive worker count through RXL_TRIAL_WORKERS; the env path
+  // must shard exactly like an explicit request.
+  const auto explicit_run = run_trials(48, dense_simulation, /*workers=*/8);
+  ASSERT_EQ(setenv("RXL_TRIAL_WORKERS", "8", 1), 0);
+  EXPECT_EQ(trial_workers(), 8u);
+  const auto env_run = run_trials(48, dense_simulation);
+  ASSERT_EQ(unsetenv("RXL_TRIAL_WORKERS"), 0);
+  EXPECT_EQ(explicit_run, env_run);
+}
+
+TEST(TrialRunnerStress, ExceptionMidSweepStillJoinsAllWorkers) {
+  // A trial throws while seven other workers are deep in their own
+  // universes: the first error must win, every worker must join, and the
+  // runner must stay reusable afterwards. Repeated to give TSan several
+  // shots at the abort/error-mutex interleavings.
+  for (int round = 0; round < 4; ++round) {
+    auto trial = [](std::size_t i) -> std::uint64_t {
+      if (i == 29) throw std::runtime_error("injected failure");
+      return dense_simulation(i);
+    };
+    EXPECT_THROW(run_trials(64, trial, 8), std::runtime_error);
+  }
+  // The pool is stateless: a clean sweep right after the failures matches.
+  EXPECT_EQ(run_trials(16, dense_simulation, 8),
+            run_trials(16, dense_simulation, 1));
+}
+
+TEST(TrialRunnerStress, ManyMoreWorkersThanTrialsIsExactAndRaceFree) {
+  const auto narrow = run_trials(5, dense_simulation, /*workers=*/64);
+  EXPECT_EQ(narrow, run_trials(5, dense_simulation, /*workers=*/1));
+}
+
+TEST(TrialRunnerStress, MoveOnlyResultsMergeInOrder) {
+  // Results that own memory (the common case: per-trial report structs)
+  // exercise the concurrent writes into distinct vector slots.
+  auto trial = [](std::size_t i) {
+    std::vector<std::uint64_t> row(17);
+    std::iota(row.begin(), row.end(), i * 1000);
+    return row;
+  };
+  const auto rows = run_trials(40, trial, 8);
+  ASSERT_EQ(rows.size(), 40u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].front(), i * 1000);
+    EXPECT_EQ(rows[i].back(), i * 1000 + 16);
+  }
+}
+
+}  // namespace

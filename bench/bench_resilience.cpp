@@ -1,0 +1,220 @@
+// Resilience table: diamond and chain fabrics driven through the PR 7
+// fault plans — mid-stream link death with planned reroute, relay
+// fail-stop with re-origination, a survivable flap absorbed by the retry
+// domain, and the honest degradation when no backup path exists.
+//
+// Every faulted diamond row must end exactly-once and in order across the
+// reroute (in-order == offered, dup == 0); the chain row ends short (the
+// only egress hop died with nowhere to go) but clean. `detect ns` /
+// `switch ns` are the controller latencies: when the TX exhausted its
+// retry-episode budget and declared the hop dead, and when the backup
+// path went live. `held` is the credit-conservation ledger across the
+// death: consumed - granted - refunded, zero whenever the fabric
+// quiesced (the refund path this PR closes); the chain row ends nonzero
+// because the horizon cuts its marooned upstream hop mid-stall, with its
+// window still legitimately consumed.
+//
+// The 100 ns slot stretches each 300-flit stream past 30 us of simulated
+// time so the 10 us faults are guaranteed to land mid-stream, and the
+// 6-episode retry budget gives the flap row 2x headroom over its outage
+// (both the retry timer and the credit probe count silent episodes).
+//
+// Output is deterministic (a pure function of the fixed seeds) and byte
+// identical for any RXL_TRIAL_WORKERS; CI diffs the 1-vs-4-worker outputs.
+#include <cstdio>
+#include <string>
+
+#include "rxl/sim/fault_plan.hpp"
+#include "rxl/sim/stats.hpp"
+#include "rxl/sim/trial_runner.hpp"
+#include "rxl/transport/dag_fabric.hpp"
+
+using namespace rxl;
+
+namespace {
+
+enum class Regime { kClean, kLinkDeath, kFailStop, kFlap, kDeadEnd };
+
+struct ScenarioCase {
+  const char* name;
+  const char* fault;
+  Regime regime;
+  std::size_t sources;   // diamond fan-in (the chain row ignores it)
+  std::size_t branches;  // diamond middle relays
+  double burst_rate;     // background two-bit-burst injection per link
+};
+
+/// 100 ns serialization slot: the floor on a flow's lifetime is
+/// flits x slot, so 300 flits span >= 30 us and a 10 us fault lands
+/// mid-stream (at the default 2 ns slot the stream would already have
+/// drained).
+constexpr TimePs kSlowSlot = 100'000;
+
+transport::DagScenarioSpec base_spec(double burst_rate) {
+  transport::DagScenarioSpec spec;
+  spec.protocol.protocol = transport::Protocol::kRxl;
+  spec.protocol.coalesce_factor = 8;
+  // Both the retry timer and the credit probe count silent episodes (~2
+  // per retry timeout while a stall lasts): 6 tolerates one full
+  // outage-plus-replay cycle before declaring the hop dead.
+  spec.protocol.max_retry_episodes = 6;
+  spec.burst_injection_rate = burst_rate;
+  spec.flits_per_flow = 300;
+  spec.seed = 61;
+  spec.horizon = 400'000'000;  // 400 us
+  spec.hop_credits = 4;
+  return spec;
+}
+
+transport::DagConfig build(const ScenarioCase& scenario) {
+  const transport::DagScenarioSpec spec = base_spec(scenario.burst_rate);
+  if (scenario.regime == Regime::kDeadEnd) {
+    // A -> R -> B with the only egress hop killed: no backup exists.
+    transport::DagConfig config = transport::make_chain_dag(spec, 1);
+    config.slot = kSlowSlot;
+    config.faults.edge(1).add_window(10'000'000, 0);
+    return config;
+  }
+  transport::DagConfig config =
+      transport::make_diamond_dag(spec, scenario.sources, scenario.branches);
+  config.slot = kSlowSlot;
+  // Every primary rides M_0: R0 -> M_0 is edge `sources`, M_0 is node
+  // `sources + 1` (see make_diamond_dag's edge layout).
+  const auto primary_edge = static_cast<std::uint16_t>(scenario.sources);
+  switch (scenario.regime) {
+    case Regime::kClean:
+    case Regime::kDeadEnd:
+      break;
+    case Regime::kLinkDeath:
+      config.faults.edge(primary_edge).add_window(10'000'000, 0);
+      break;
+    case Regime::kFailStop:
+      config.faults.relay_failures.push_back(
+          {static_cast<std::uint16_t>(scenario.sources + 1), 10'000});
+      break;
+    case Regime::kFlap:
+      // Generator horizon sized so exactly one ~5 us outage fits (first
+      // window at start + gap in [9, 13] us; the next would land >= 17 us).
+      config.faults.edge(primary_edge) = sim::make_flap_schedule(
+          /*seed=*/17, /*start=*/1'000'000, /*horizon=*/14'000'000,
+          /*mean_gap=*/8'000'000, /*outage=*/5'000'000);
+      break;
+  }
+  return config;
+}
+
+struct Row {
+  std::uint64_t flows = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t in_order = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t dead_hops = 0;
+  std::uint64_t blackholed = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t reconciled = 0;
+  std::uint64_t reinjected = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t flap_recoveries = 0;
+  std::uint64_t refunded = 0;
+  std::uint64_t hop_retx = 0;
+  std::uint64_t detect_ns = 0;  // latest hop-death declaration
+  std::uint64_t switch_ns = 0;  // latest backup-path activation
+  std::uint64_t held = 0;       // consumed - granted - refunded at horizon
+};
+
+Row run_scenario(const ScenarioCase& scenario) {
+  const transport::DagReport report =
+      transport::run_dag_fabric(build(scenario));
+  Row row;
+  row.flows = report.flows.size();
+  row.offered = report.total_offered();
+  row.in_order = report.total_in_order();
+  for (const transport::DagFlowReport& flow : report.flows)
+    row.duplicates += flow.scoreboard.duplicates;
+  row.dead_hops = report.total_hops_declared_dead();
+  row.blackholed = report.total_flits_blackholed();
+  row.flap_recoveries = report.total_flap_recoveries();
+  row.refunded = report.total_credits_refunded();
+  row.reroutes = report.total_reroutes_executed();
+  for (const transport::DagRerouteReport& episode : report.reroutes) {
+    row.drained += episode.drained;
+    row.reconciled += episode.reconciled;
+    row.reinjected += episode.reinjected;
+    if (episode.detected_at / 1'000 > row.detect_ns)
+      row.detect_ns = episode.detected_at / 1'000;
+    if (episode.switched_at / 1'000 > row.switch_ns)
+      row.switch_ns = episode.switched_at / 1'000;
+  }
+  row.hop_retx = report.total_hop_retransmissions();
+  row.held = report.total_credits_consumed() -
+             report.total_credits_granted() -
+             report.total_credits_refunded();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "RXL reproduction — resilience under deterministic fault plans\n"
+      "=============================================================\n\n"
+      "Diamond fabrics (every primary on branch M_0, backups through M_1)\n"
+      "and a backup-less chain, 300 flits per flow at a 100 ns slot, hop\n"
+      "credits 4, retry budget 6 episodes. Faults land mid-stream at 10 us\n"
+      "(the flap's single 5 us outage opens inside [9, 13] us). `bursts`\n"
+      "rows add background two-bit error bursts at 1e-3 per link per flit\n"
+      "on top of the fault plan.\n\n");
+
+  const ScenarioCase cases[] = {
+      {"diamond-2x2", "none", Regime::kClean, 2, 2, 0.0},
+      {"diamond-2x2", "link-death 10us", Regime::kLinkDeath, 2, 2, 0.0},
+      {"diamond-2x2", "death + bursts", Regime::kLinkDeath, 2, 2, 1e-3},
+      {"diamond-3x2", "link-death 10us", Regime::kLinkDeath, 3, 2, 0.0},
+      {"diamond-2x2", "relay fail-stop", Regime::kFailStop, 2, 2, 0.0},
+      {"diamond-2x2", "flap 5us", Regime::kFlap, 2, 2, 0.0},
+      {"chain-1", "dead-end 10us", Regime::kDeadEnd, 1, 0, 0.0},
+  };
+  constexpr std::size_t kCases = sizeof(cases) / sizeof(cases[0]);
+
+  const auto rows = sim::run_trials(
+      kCases, [&](std::size_t trial) { return run_scenario(cases[trial]); });
+
+  sim::TextTable table({"scenario", "fault", "flows", "offered", "in-order",
+                        "dup", "dead", "blackholed", "drain", "recon",
+                        "reinj", "reroutes", "flap rec", "refund",
+                        "hop retx", "detect ns", "switch ns", "held"});
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const Row& row = rows[i];
+    table.add_row({cases[i].name, cases[i].fault, std::to_string(row.flows),
+                   std::to_string(row.offered), std::to_string(row.in_order),
+                   std::to_string(row.duplicates),
+                   std::to_string(row.dead_hops),
+                   std::to_string(row.blackholed),
+                   std::to_string(row.drained),
+                   std::to_string(row.reconciled),
+                   std::to_string(row.reinjected),
+                   std::to_string(row.reroutes),
+                   std::to_string(row.flap_recoveries),
+                   std::to_string(row.refunded),
+                   std::to_string(row.hop_retx),
+                   std::to_string(row.detect_ns),
+                   std::to_string(row.switch_ns),
+                   std::to_string(row.held)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: every diamond row delivers its full budget exactly-once\n"
+      "(in-order == offered, dup == 0) whatever the fault plan did; death\n"
+      "rows drain the dead hop and split the drain into reconciled (proven\n"
+      "delivered, dropped) and reinjected (re-originated on the backup),\n"
+      "with reconciled == 0 for the fail-stop (the relay's protocol state\n"
+      "died with it). The flap row recovers inside its retry budget: no\n"
+      "death, no reroute, no refunds. The chain row degrades honestly —\n"
+      "short but duplicate-free — and is the only row with `held` != 0:\n"
+      "its marooned upstream hop still owns its window when the horizon\n"
+      "ends the run mid-stall. Everywhere the fabric quiesced, credits\n"
+      "consumed == granted + refunded even across hop death, and the\n"
+      "`hop retx` column shows the burst row really did fight background\n"
+      "errors while rerouting.\n");
+  return 0;
+}

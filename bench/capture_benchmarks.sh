@@ -38,7 +38,7 @@ done
 # Deterministic table reproductions: byte-stable across perf work, so any
 # diff in these files is a behaviour change, not noise.
 for table in reliability_table bandwidth_table ablation fig8_fit \
-             hw_overhead scenarios dag_scenarios congestion; do
+             hw_overhead scenarios dag_scenarios congestion resilience; do
   echo "== bench_$table -> $out_dir/$table.txt"
   "$build_dir/bench/bench_$table" > "$out_dir/$table.txt"
 done
@@ -47,8 +47,9 @@ echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
 {
   # The slow-labeled Monte Carlo binaries register their cases under the
   # gtest suite names Fabric.* / StarFabric.* / DagProperties.* /
-  # CongestionProperties.* (see tests/CMakeLists.txt).
-  for suite in Fabric StarFabric DagProperties CongestionProperties; do
+  # CongestionProperties.* / FaultProperties.* (see tests/CMakeLists.txt).
+  for suite in Fabric StarFabric DagProperties CongestionProperties \
+               FaultProperties; do
     start=$(date +%s%3N)
     # (^|/) also catches value-parameterized cases ("Batches/DagProperties.")
     ctest --test-dir "$build_dir" -R "(^|/)${suite}\." --output-on-failure -Q

@@ -33,6 +33,14 @@ class RingQueue {
     return slots_[head_];
   }
 
+  /// Read-only access to the i-th queued element (0 = front). Lets
+  /// management planes scan parked work (the relay reroute quiesce) without
+  /// disturbing FIFO order.
+  [[nodiscard]] const T& at(std::size_t i) const noexcept {
+    assert(i < count_);
+    return slots_[(head_ + i) & (slots_.size() - 1)];
+  }
+
   /// Pops and returns the front element. [[nodiscard]]: a dropped pop is a
   /// lost flit/credit — callers that intend to drop must say so explicitly.
   [[nodiscard]] T pop_front() {

@@ -79,9 +79,25 @@ class CreditWindow {
     return delta;
   }
 
+  /// Dead-hop drain: refunds every outstanding slot (consumed but neither
+  /// granted back nor previously refunded), restoring the window to its
+  /// full depth. This closes the lost-forever leak documented above for
+  /// the one case where "forever" is knowable — the hop has been declared
+  /// dead, so no return can ever arrive and every reserved slot is known
+  /// abandoned. Returns the number of credits refunded, so that after a
+  /// drain the ledger balances as consumed() == granted() + refunded().
+  std::size_t refund_outstanding() noexcept {
+    if (!enabled_) return 0;
+    const std::uint64_t outstanding = consumed_ - granted_ - refunded_;
+    balance_ += static_cast<std::size_t>(outstanding);
+    refunded_ += outstanding;
+    return static_cast<std::size_t>(outstanding);
+  }
+
   /// Lifetime counters for the conservation invariants.
   [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
   [[nodiscard]] std::uint64_t granted() const noexcept { return granted_; }
+  [[nodiscard]] std::uint64_t refunded() const noexcept { return refunded_; }
 
  private:
   bool enabled_;
@@ -89,6 +105,7 @@ class CreditWindow {
   std::uint16_t grant_cursor_ = 0;  ///< last cumulative count applied
   std::uint64_t consumed_ = 0;
   std::uint64_t granted_ = 0;
+  std::uint64_t refunded_ = 0;  ///< slots refunded at dead-hop drain
 };
 
 /// Receive-side return ledger: counts buffer slots freed back to the

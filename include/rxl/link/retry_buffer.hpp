@@ -66,6 +66,24 @@ class RetryBuffer {
     }
   }
 
+  /// Visits every held entry oldest -> newest: the dead-hop drain order.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const Entry& entry : entries_) visit(entry);
+  }
+
+  /// True when any held entry carries `flow_tag` (the fabric's reroute
+  /// quiesce probe: a hop still replaying a flow's flits is not drained).
+  [[nodiscard]] bool holds_flow(std::uint16_t flow_tag) const noexcept {
+    for (const Entry& entry : entries_)
+      if (entry.flow_tag == flow_tag) return true;
+    return false;
+  }
+
+  /// Releases everything without acking (dead-hop drain: the entries have
+  /// been handed off to the HopDownEvent and will never be replayed here).
+  void clear() noexcept { entries_.clear(); }
+
  private:
   std::size_t capacity_;
   std::deque<Entry> entries_;  ///< ordered oldest -> newest

@@ -34,6 +34,12 @@ class ErrorModel {
   /// the flit transited cleanly).
   virtual std::size_t corrupt(std::span<std::uint8_t> flit,
                               Xoshiro256& rng) = 0;
+
+  /// Returns the model to its initial channel state. A revived link (after
+  /// a fault-plan down window) re-equalizes, so stateful models must not
+  /// carry pre-outage state across the outage; stateless models no-op.
+  /// The RNG stream is owned by the channel and is *not* rewound.
+  virtual void reset() noexcept {}
 };
 
 /// Independent bit errors: every bit flips with probability `ber`.
@@ -77,6 +83,8 @@ class GilbertElliott final : public ErrorModel {
   explicit GilbertElliott(const Params& params) noexcept : params_(params) {}
   std::size_t corrupt(std::span<std::uint8_t> flit, Xoshiro256& rng) override;
   [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+  /// Re-equalization starts the channel in the good state.
+  void reset() noexcept override { bad_ = false; }
 
  private:
   Params params_;
@@ -114,6 +122,7 @@ class BernoulliGate final : public ErrorModel {
     if (rate_ <= 0.0 || !rng.bernoulli(rate_)) return 0;
     return inner_->corrupt(flit, rng);
   }
+  void reset() noexcept override { inner_->reset(); }
 
  private:
   double rate_;
@@ -130,6 +139,9 @@ class CompositeErrorModel final : public ErrorModel {
     std::size_t total = 0;
     for (auto& model : models_) total += model->corrupt(flit, rng);
     return total;
+  }
+  void reset() noexcept override {
+    for (auto& model : models_) model->reset();
   }
 
  private:
@@ -153,6 +165,9 @@ class TargetedDoubleError final : public ErrorModel {
     flit[13] ^= 0x5A;  // same lane (offset +3), same magnitude
     return 8;          // popcount(0x5A) * 2
   }
+  /// A revived link restarts the transit count (the Nth flit is the Nth
+  /// flit of the current link-up episode).
+  void reset() noexcept override { count_ = 0; }
 
  private:
   std::uint64_t target_;

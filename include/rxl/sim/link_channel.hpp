@@ -7,6 +7,7 @@
 // receiver after the propagation latency.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
@@ -18,6 +19,7 @@
 #include "rxl/flit/flit.hpp"
 #include "rxl/phy/error_model.hpp"
 #include "rxl/sim/event_queue.hpp"
+#include "rxl/sim/fault_plan.hpp"
 #include "rxl/sim/inline_delegate.hpp"
 
 namespace rxl::sim {
@@ -63,6 +65,7 @@ struct ChannelStats {
   std::uint64_t flits_carried = 0;
   std::uint64_t flits_corrupted = 0;  ///< images touched by the error model
   std::uint64_t bits_flipped = 0;
+  std::uint64_t flits_blackholed = 0;  ///< sent into a fault-plan down window
   TimePs busy_time = 0;  ///< total serialisation time consumed
 };
 
@@ -84,6 +87,17 @@ class LinkChannel {
 
   /// Connects the receive side.
   void set_receiver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  /// Attaches a fault-plan timeline (not owned; must outlive the channel).
+  /// While the timeline says the link is down, transmitted flits are
+  /// black-holed: they still occupy their serialisation slot (the TX MAC
+  /// cannot tell a dead wire from a lossy one) but are never delivered and
+  /// never touch the error model or its RNG stream. With no schedule — or
+  /// an empty one — the channel behaves bit-identically to one built
+  /// before fault injection existed.
+  void set_fault_schedule(const LinkFaultSchedule* faults) noexcept {
+    faults_ = (faults != nullptr && !faults->empty()) ? faults : nullptr;
+  }
 
   /// Queues `envelope` for transmission. The channel serialises flits
   /// back-to-back: if the wire is busy the flit starts when it frees up.
@@ -107,6 +121,11 @@ class LinkChannel {
   TimePs latency_;
   TimePs next_free_ = 0;
   DeliverFn deliver_;
+  const LinkFaultSchedule* faults_ = nullptr;  ///< not owned; may be null
+  /// Completed down windows already acknowledged by an errors_->reset();
+  /// compared against the schedule so each revival re-equalizes exactly
+  /// once, on the first transmit after the link comes back.
+  std::size_t fault_windows_seen_ = 0;
   /// Flits on the wire, in delivery order. Per-channel delivery times are
   /// strictly increasing (slot end is monotonic, latency constant), so the
   /// scheduled [this] events pop this FIFO in exactly the order the heap

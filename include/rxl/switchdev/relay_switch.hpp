@@ -66,7 +66,26 @@ class RelaySwitch {
   std::size_t add_port(const transport::ProtocolConfig& config);
 
   /// Routes `flow_id` out of `egress_port` (deterministic table routing).
+  /// Also used mid-run by the fabric's reroute controller to swap a flow
+  /// onto its backup path after a hop death.
   void set_route(std::uint16_t flow_id, std::size_t egress_port);
+
+  /// Re-injects a management-plane payload (a flit drained from a dead
+  /// hop's retry buffer) at the tail of `egress_port`'s store-and-forward
+  /// queue. Unlike relayed traffic it occupies no ingress buffer slot —
+  /// its original slot was already refunded when the dead hop drained —
+  /// so no credit is returned when it leaves.
+  void inject(std::size_t egress_port, transport::Endpoint::TxItem item);
+
+  /// Moves every parked payload of `flow_id` from one egress queue to
+  /// another (reroute switchover), preserving FIFO order and each
+  /// payload's ingress-slot attribution. Returns the number moved.
+  std::size_t migrate_pending(std::size_t from_port, std::size_t to_port,
+                              std::uint16_t flow_id);
+
+  /// True when any egress queue parks a payload of `flow_id` (the reroute
+  /// quiesce probe, paired with Endpoint::tx_holds_flow).
+  [[nodiscard]] bool has_flow_queued(std::uint16_t flow_id) const;
 
   [[nodiscard]] transport::Endpoint& port(std::size_t i) {
     return *ports_[i].endpoint;
@@ -82,7 +101,9 @@ class RelaySwitch {
 
  private:
   /// A payload parked between acceptance and re-origination, remembering
-  /// the ingress port whose buffer slot (credit) it occupies.
+  /// the ingress port whose buffer slot (credit) it occupies. Injected
+  /// (drained-and-rerouted) payloads carry kNoIngress: they own no slot.
+  static constexpr std::uint32_t kNoIngress = UINT32_MAX;
   struct Pending {
     transport::Endpoint::TxItem item;
     std::uint32_t ingress = 0;

@@ -73,6 +73,18 @@ struct ProtocolConfig {
   /// RX-side: flush unadvertised credits as a standalone return flit if no
   /// control flit has carried them within this window.
   TimePs credit_return_timeout = 1'000'000;  // 1 us
+
+  /// --- Failure detection (sim/fault_plan.hpp fault injection) ---
+  /// Consecutive timeout-driven retry (or credit-probe) episodes during
+  /// which the peer stayed COMPLETELY silent — no ACK, NACK, advert, or
+  /// data arrival — before the TX declares the hop dead, drains its retry
+  /// buffer into a HopDownEvent, and stops transmitting. 0 = never give up
+  /// (the pre-fault behaviour, byte-identical).
+  unsigned max_retry_episodes = 0;
+  /// Age variant of the same budget: declare the hop dead when the peer
+  /// has been silent for this long while the TX is stalled on it. 0 =
+  /// disabled. Either trigger suffices when both are set.
+  TimePs dead_hop_timeout = 0;
 };
 
 [[nodiscard]] constexpr const char* protocol_name(Protocol protocol) noexcept {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "rxl/link/link_layer.hpp"
+#include "rxl/sim/fault_plan.hpp"
 #include "rxl/switchdev/port_switch.hpp"
 #include "rxl/switchdev/relay_switch.hpp"
 #include "rxl/transport/config.hpp"
@@ -98,6 +99,21 @@ struct DagConfig {
   /// 0 = flow control off everywhere (unbounded relay queues — the
   /// pre-credit behaviour, byte-identical on the wire).
   std::size_t hop_credits = 0;
+  /// Fault-injection timeline (link down/flap windows per edge, relay
+  /// fail-stop events). Empty (the default) means every channel keeps its
+  /// null-schedule fast path and the run is byte-identical to a build
+  /// without fault support. A relay fail-stop at time T compiles into
+  /// permanent down windows on every edge incident to that relay.
+  sim::FaultPlan faults;
+  /// Reroute-controller quiesce poll period: after a hop death the
+  /// controller re-checks the old path suffix every `reroute_poll` ps until
+  /// it drains (no relay egress queue or suffix-hop retry buffer still
+  /// holds the flow), then swaps the flow tables.
+  TimePs reroute_poll = 500'000;
+  /// Polls before the controller abandons a reroute whose old-path suffix
+  /// never drains (e.g. a second fault downstream). Abandoned reroutes are
+  /// reported, not fatal.
+  unsigned reroute_quiesce_limit = 64;
 };
 
 /// The compiled routing plan: what plan_dag() validates and run_dag_fabric()
@@ -116,9 +132,24 @@ struct DagPlan {
     /// domain is then bidirectional and ACKs piggyback on reverse data).
     std::optional<std::uint32_t> mate;
   };
+  /// A precomputed backup route: when `dead_segment` of `flow`'s primary
+  /// path dies (its forward edge has a permanent fault window or its peer
+  /// relay fail-stops), the flow re-enters the fabric at the dead segment's
+  /// ORIGIN and follows `backup_edges` to its destination. Computed by the
+  /// same deterministic BFS as primaries (lowest edge id breaks ties) on
+  /// the surviving graph — doomed edges and edges incident to fail-stop
+  /// relays excluded. Empty backup_edges = no surviving route (the flow
+  /// degrades; run_dag_fabric reports the abandonment).
+  struct Reroute {
+    std::uint16_t flow = 0;
+    std::uint32_t dead_segment = 0;
+    std::vector<std::uint16_t> backup_edges;
+    std::vector<std::uint32_t> backup_segments;  ///< into DagPlan::segments
+  };
   std::vector<std::vector<std::uint16_t>> flow_paths;  ///< edge ids per flow
   std::vector<Segment> segments;                       ///< deduplicated
   std::vector<std::vector<std::uint32_t>> flow_segments;  ///< per flow
+  std::vector<Reroute> reroutes;  ///< one per (flow, doomed primary segment)
 };
 
 /// Validates the topology and compiles the routing plan.
@@ -160,6 +191,25 @@ struct DagFlowReport {
   std::uint64_t offered = 0;  ///< payloads actually pulled from the source
   txn::StreamScoreboard::Stats scoreboard;
   std::vector<std::uint16_t> path_edges;
+  /// True when the reroute controller switched this flow onto a backup
+  /// path mid-run (its delivered stream then spans both paths).
+  bool rerouted = false;
+};
+
+/// One reroute-controller episode: a hop death observed, reconciled, and
+/// (when a backup exists and the old path drained) switched over.
+struct DagRerouteReport {
+  std::uint16_t flow = 0;
+  std::uint32_t segment = 0;      ///< the dead primary segment
+  TimePs detected_at = 0;         ///< when the TX declared the hop dead
+  TimePs switched_at = 0;         ///< when the backup went live (0 if not)
+  bool rerouted = false;          ///< backup installed and traffic moved
+  std::uint64_t drained = 0;      ///< flits drained from the dead hop's TX
+  /// Drained flits the reconciliation proved already delivered at the peer
+  /// (go-back-N in-order acceptance makes the delivered set exactly the
+  /// prefix below the peer RX's expected sequence number).
+  std::uint64_t reconciled = 0;
+  std::uint64_t reinjected = 0;   ///< drained - reconciled, re-originated
 };
 
 struct DagRelayPort {
@@ -184,6 +234,7 @@ struct DagReport {
   std::vector<DagLinkStats> hops;
   std::vector<DagRelayReport> relays;
   std::vector<DagHubReport> hubs;
+  std::vector<DagRerouteReport> reroutes;  ///< controller episodes, in order
   /// Deliveries at a terminal whose flow tag names another destination (a
   /// routing-table bug would show up here; the tests pin it at zero).
   std::uint64_t misrouted = 0;
@@ -209,6 +260,14 @@ struct DagReport {
   [[nodiscard]] std::uint64_t max_ingress_occupancy() const;
   /// Peak egress store-and-forward queue depth across all relays.
   [[nodiscard]] std::uint64_t max_relay_queue_depth() const;
+  /// --- Fault/resilience aggregates (all zero with an empty FaultPlan) ---
+  [[nodiscard]] std::uint64_t total_hops_declared_dead() const;
+  [[nodiscard]] std::uint64_t total_dead_flits_drained() const;
+  [[nodiscard]] std::uint64_t total_credits_refunded() const;
+  [[nodiscard]] std::uint64_t total_flap_recoveries() const;
+  [[nodiscard]] std::uint64_t total_flits_blackholed() const;
+  /// Reroute episodes that actually switched traffic onto a backup path.
+  [[nodiscard]] std::uint64_t total_reroutes_executed() const;
 };
 
 /// Builds, runs, and reports a DAG fabric simulation.
@@ -260,6 +319,18 @@ struct DagScenarioSpec {
 /// starving the uncontended one.
 [[nodiscard]] DagConfig make_hotspot_dag(const DagScenarioSpec& spec,
                                          std::size_t sources);
+
+/// Diamond: `sources` terminals -> R0 -> {M_0 .. M_(branches-1)} -> R1 ->
+/// `sources` sinks. Every flow's primary path rides the lowest-id middle
+/// branch (BFS tie-break), so killing that branch's relay or its edges
+/// exercises multi-flow reroute onto the surviving branches. Edge-id
+/// layout (load-bearing for fault plans): source uplinks are edges
+/// 0..sources-1, R0 -> M_j is edge sources+2j, M_j -> R1 is edge
+/// sources+2j+1, and R1's sink downlinks follow. All primary traffic uses
+/// M_0 (edges sources and sources+1); M_1.. are pure backup capacity.
+[[nodiscard]] DagConfig make_diamond_dag(const DagScenarioSpec& spec,
+                                         std::size_t sources,
+                                         std::size_t branches);
 
 /// Trunk contention: `sources` terminals -> R1 -> R2 -> `sources` sinks;
 /// every flow squeezes through the single R1 -> R2 trunk hop (the

@@ -61,6 +61,11 @@ struct EndpointExtraStats {
   std::uint64_t credits_returned = 0; ///< RX buffer slots freed upstream
   std::uint64_t credit_adverts = 0;   ///< standalone credit-return flits
   std::uint64_t credit_probes = 0;    ///< stalled-TX re-advertise requests
+  /// --- Failure detection (all zero unless fault injection is enabled) ---
+  std::uint64_t hops_declared_dead = 0;  ///< retry budget exhausted (0 or 1)
+  std::uint64_t dead_flits_drained = 0;  ///< entries handed to HopDownEvent
+  std::uint64_t credits_refunded = 0;    ///< window slots refunded at drain
+  std::uint64_t flap_recoveries = 0;     ///< ACK progress after >=1 silent episode
 };
 
 class Endpoint {
@@ -86,6 +91,22 @@ class Endpoint {
   /// queued TxItem, or nullopt when the store-and-forward queue is empty.
   using RelaySourceFn = std::function<std::optional<TxItem>()>;
 
+  /// Raised at most once, when the TX exhausts its retry budget
+  /// (ProtocolConfig::max_retry_episodes / dead_hop_timeout) and declares
+  /// its hop dead. Carries every sent-but-unacked flit, oldest first, so a
+  /// management plane (DagFabric's reroute controller) can re-originate the
+  /// stream on a surviving path. After the event the endpoint is inert:
+  /// it never transmits again and ignores late arrivals.
+  struct HopDownEvent {
+    TimePs at = 0;  ///< detection time (not the underlying fault time)
+    struct DrainedFlit {
+      std::uint16_t seq = 0;  ///< hop-local sequence number (reconciliation)
+      TxItem item;            ///< payload + ground truth, ready to re-send
+    };
+    std::vector<DrainedFlit> drained;  ///< oldest -> newest
+  };
+  using HopDownFn = std::function<void(HopDownEvent&&)>;
+
   Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
            std::string name);
 
@@ -102,6 +123,19 @@ class Endpoint {
   /// originates a stream or re-originates a relayed one, never both.
   void set_relay_source(RelaySourceFn source) {
     relay_source_ = std::move(source);
+  }
+
+  /// Installs the hop-death handler (fault injection's management plane).
+  void set_hop_down(HopDownFn handler) { hop_down_ = std::move(handler); }
+
+  /// True once this TX has declared its hop dead and gone inert.
+  [[nodiscard]] bool hop_dead() const noexcept { return hop_dead_; }
+
+  /// Management-plane probe: does the replay buffer still hold any flit of
+  /// `flow`? The fabric's reroute quiesce waits for downstream hops to
+  /// answer no before swapping a flow onto its backup path.
+  [[nodiscard]] bool tx_holds_flow(std::uint16_t flow) const noexcept {
+    return retry_buffer_.holds_flow(flow);
   }
 
   /// Defers credit return: received payloads enter an external bounded
@@ -174,6 +208,11 @@ class Endpoint {
   void on_credit_probe_timer();
   void process_credit_word(std::uint16_t credit_word);
 
+  // Failure detection (fault injection).
+  [[nodiscard]] bool hop_death_due() const noexcept;
+  void note_silent_episode();
+  void declare_hop_dead();
+
   // RX path.
   void rx_data(sim::FlitEnvelope&& envelope);
   void rx_control(const flit::Flit& flit);
@@ -208,6 +247,13 @@ class Endpoint {
   link::CreditWindow credit_window_;
   bool credit_stalled_ = false;  ///< TX wanted a new flit, window was empty
   sim::Timer credit_probe_timer_;
+  // Failure detection state. A "silent episode" is a retry or credit-probe
+  // timeout that fired while the peer had sent NOTHING for a full
+  // retry_timeout — consecutive silent episodes are the death budget.
+  HopDownFn hop_down_;
+  bool hop_dead_ = false;
+  unsigned silent_episodes_ = 0;
+  TimePs last_peer_activity_ = 0;  ///< any arrival on this hop's RX side
 
   // RX state.
   std::uint16_t expected_seq_ = 0;   ///< ESeqNum

@@ -20,8 +20,25 @@ TimePs LinkChannel::send(FlitEnvelope envelope) {
   const TimePs start = std::max(queue_.now(), next_free_);
   const TimePs end = start + slot_;
   next_free_ = end;
-  stats_.flits_carried += 1;
   stats_.busy_time += slot_;
+
+  if (faults_ != nullptr) {
+    // Revival: the link finished a down window since the last transmit, so
+    // the re-equalized channel starts from a known error-model state.
+    const std::size_t ended = faults_->windows_ended_by(start);
+    if (ended > fault_windows_seen_) {
+      fault_windows_seen_ = ended;
+      errors_->reset();
+    }
+    if (faults_->down_at_time(start)) {
+      // Dead wire: the slot is spent but the flit vanishes — no delivery
+      // event, no error-model draw (the RNG stream stays aligned with the
+      // flits that actually transit).
+      stats_.flits_blackholed += 1;
+      return end;
+    }
+  }
+  stats_.flits_carried += 1;
 
   const std::size_t flipped = errors_->corrupt(envelope.flit.bytes(), rng_);
   if (flipped > 0) {

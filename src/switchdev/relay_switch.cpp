@@ -34,10 +34,12 @@ std::size_t RelaySwitch::add_port(const transport::ProtocolConfig& config) {
         if (port.pending.empty()) return std::nullopt;
         Pending pending = port.pending.pop_front();
         port.stats.relayed_out += 1;
-        Port& in_port = ports_[pending.ingress];
-        assert(in_port.in_queue > 0);
-        in_port.in_queue -= 1;
-        in_port.endpoint->return_credits(1);
+        if (pending.ingress != kNoIngress) {
+          Port& in_port = ports_[pending.ingress];
+          assert(in_port.in_queue > 0);
+          in_port.in_queue -= 1;
+          in_port.endpoint->return_credits(1);
+        }
         return std::move(pending.item);
       });
   return index;
@@ -47,6 +49,55 @@ void RelaySwitch::set_route(std::uint16_t flow_id, std::size_t egress_port) {
   assert(egress_port < ports_.size());
   if (routes_.size() <= flow_id) routes_.resize(flow_id + 1u, kNoRoute);
   routes_[flow_id] = static_cast<std::uint32_t>(egress_port);
+}
+
+void RelaySwitch::inject(std::size_t egress_port,
+                         transport::Endpoint::TxItem item) {
+  assert(egress_port < ports_.size());
+  Port& out_port = ports_[egress_port];
+  Pending pending;
+  pending.item = std::move(item);
+  pending.ingress = kNoIngress;
+  out_port.pending.push_back(std::move(pending));
+  if (out_port.pending.size() > out_port.stats.max_queue_depth)
+    out_port.stats.max_queue_depth = out_port.pending.size();
+  out_port.endpoint->kick();
+}
+
+std::size_t RelaySwitch::migrate_pending(std::size_t from_port,
+                                         std::size_t to_port,
+                                         std::uint16_t flow_id) {
+  assert(from_port < ports_.size() && to_port < ports_.size());
+  if (from_port == to_port) return 0;
+  Port& from = ports_[from_port];
+  Port& to = ports_[to_port];
+  // Drain the source queue completely, splitting by flow: both the stayers
+  // and the movers re-enter their queues in the order they were parked, so
+  // per-flow FIFO order survives the switchover.
+  const std::size_t parked = from.pending.size();
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < parked; ++i) {
+    Pending pending = from.pending.pop_front();
+    if (pending.item.flow_id == flow_id) {
+      to.pending.push_back(std::move(pending));
+      moved += 1;
+    } else {
+      from.pending.push_back(std::move(pending));
+    }
+  }
+  if (to.pending.size() > to.stats.max_queue_depth)
+    to.stats.max_queue_depth = to.pending.size();
+  if (moved > 0) to.endpoint->kick();
+  return moved;
+}
+
+bool RelaySwitch::has_flow_queued(std::uint16_t flow_id) const {
+  for (const Port& port : ports_) {
+    for (std::size_t i = 0; i < port.pending.size(); ++i) {
+      if (port.pending.at(i).item.flow_id == flow_id) return true;
+    }
+  }
+  return false;
 }
 
 RelayPortStats RelaySwitch::port_stats(std::size_t i) const {

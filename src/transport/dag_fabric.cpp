@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "rxl/link/credit.hpp"
+#include "rxl/link/sequence.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/transport/traffic.hpp"
 
@@ -99,6 +100,31 @@ DagPlan plan_dag(const DagConfig& config) {
   }
   if (config.hop_credits > link::kMaxCreditWindow)
     invalid("hop_credits exceeds link::kMaxCreditWindow");
+
+  // Fault-plan sanity: the plan may address fewer edges than the topology
+  // declares (missing tail entries mean "no faults") but never more,
+  // fail-stop events must name relay nodes, and every finite down window
+  // must have positive length.
+  if (config.faults.edges.size() > config.edges.size())
+    invalid("fault plan addresses more edges than the topology declares");
+  for (std::size_t e = 0; e < config.faults.edges.size(); ++e) {
+    for (const sim::FaultWindow& window : config.faults.edges[e].windows()) {
+      if (window.up_at != 0 && window.up_at <= window.down_at) {
+        std::string message = "fault window on edge ";
+        message += std::to_string(e);
+        message += " ends at or before it starts";
+        invalid(std::move(message));
+      }
+    }
+  }
+  for (const sim::RelayFailStop& failure : config.faults.relay_failures) {
+    if (failure.node >= n || kind(failure.node) != DagNodeKind::kRelay) {
+      std::string message = "relay fail-stop event at node ";
+      message += std::to_string(failure.node);
+      message += " does not name a relay";
+      invalid(std::move(message));
+    }
+  }
   {
     std::vector<std::pair<std::uint16_t, std::uint16_t>> pairs;
     pairs.reserve(config.edges.size());
@@ -283,8 +309,8 @@ DagPlan plan_dag(const DagConfig& config) {
   };
   std::vector<std::int32_t> segment_of_egress(config.edges.size(), -1);
   std::vector<std::int32_t> segment_of_ingress(config.edges.size(), -1);
-  for (std::size_t f = 0; f < config.flows.size(); ++f) {
-    const std::vector<std::uint16_t>& path = plan.flow_paths[f];
+  auto extract_segments = [&](const std::vector<std::uint16_t>& path,
+                              std::vector<std::uint32_t>& into) {
     std::size_t i = 0;
     while (i < path.size()) {
       DagPlan::Segment segment;
@@ -316,7 +342,7 @@ DagPlan plan_dag(const DagConfig& config) {
           message += " (one TX termination cannot feed two receivers)";
           invalid(std::move(message));
         }
-        plan.flow_segments[f].push_back(static_cast<std::uint32_t>(existing));
+        into.push_back(static_cast<std::uint32_t>(existing));
         continue;
       }
       if (segment_of_ingress[segment.ingress_edge] >= 0) {
@@ -332,7 +358,78 @@ DagPlan plan_dag(const DagConfig& config) {
       segment_of_ingress[segment.ingress_edge] =
           static_cast<std::int32_t>(index);
       plan.segments.push_back(segment);
-      plan.flow_segments[f].push_back(index);
+      into.push_back(index);
+    }
+  };
+  for (std::size_t f = 0; f < config.flows.size(); ++f)
+    extract_segments(plan.flow_paths[f], plan.flow_segments[f]);
+
+  // Backup routes for planned faults: for every (flow, primary segment)
+  // whose forward edges are doomed — a permanent down window, or incidence
+  // to a fail-stop relay — precompute a detour from the dead segment's
+  // origin to the flow's destination over the surviving graph, with the
+  // same BFS and lowest-edge-id tie-break as primaries. Backup segments go
+  // through the same dedup maps BEFORE mate pairing below, so they pair
+  // with reverse topology edges exactly like primary segments. Empty
+  // backup_edges records "no surviving route": the reroute controller
+  // reports the abandonment and the flow degrades.
+  if (!config.faults.empty()) {
+    std::vector<std::uint8_t> node_failed(n, 0);
+    for (const sim::RelayFailStop& failure : config.faults.relay_failures)
+      node_failed[failure.node] = 1;
+    std::vector<std::uint8_t> edge_doomed(config.edges.size(), 0);
+    for (std::size_t e = 0; e < config.edges.size(); ++e) {
+      if (e < config.faults.edges.size() &&
+          config.faults.edges[e].permanently_down())
+        edge_doomed[e] = 1;
+      if (node_failed[config.edges[e].src] != 0 ||
+          node_failed[config.edges[e].dst] != 0)
+        edge_doomed[e] = 1;
+    }
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const DagFlow& flow = config.flows[f];
+      for (const std::uint32_t si : plan.flow_segments[f]) {
+        const DagPlan::Segment& segment = plan.segments[si];
+        if (edge_doomed[segment.egress_edge] == 0 &&
+            edge_doomed[segment.ingress_edge] == 0)
+          continue;
+        // A fail-stop relay raises no usable HopDownEvent for its own
+        // egress hops (its protocol state is lost with it); the upstream
+        // segment INTO the failed relay owns the recovery instead.
+        if (node_failed[segment.origin] != 0) continue;
+        DagPlan::Reroute reroute;
+        reroute.flow = static_cast<std::uint16_t>(f);
+        reroute.dead_segment = si;
+        std::vector<std::int32_t> parent_edge(n, -1);
+        std::vector<std::uint8_t> visited(n, 0);
+        std::vector<std::uint16_t> frontier{segment.origin};
+        visited[segment.origin] = 1;
+        for (std::size_t head = 0; head < frontier.size(); ++head) {
+          const std::uint16_t u = frontier[head];
+          if (u != segment.origin && kind(u) == DagNodeKind::kTerminal)
+            continue;
+          for (const std::uint16_t e : out_edges[u]) {
+            if (edge_doomed[e] != 0) continue;
+            const std::uint16_t w = config.edges[e].dst;
+            if (visited[w]) continue;
+            visited[w] = 1;
+            parent_edge[w] = static_cast<std::int32_t>(e);
+            frontier.push_back(w);
+          }
+        }
+        if (visited[flow.dst]) {
+          for (std::uint16_t v = flow.dst; v != segment.origin;) {
+            const std::int32_t e = parent_edge[v];
+            assert(e >= 0);
+            reroute.backup_edges.push_back(static_cast<std::uint16_t>(e));
+            v = config.edges[static_cast<std::size_t>(e)].src;
+          }
+          std::reverse(reroute.backup_edges.begin(),
+                       reroute.backup_edges.end());
+          extract_segments(reroute.backup_edges, reroute.backup_segments);
+        }
+        plan.reroutes.push_back(std::move(reroute));
+      }
     }
   }
 
@@ -385,6 +482,163 @@ DagPlan plan_dag(const DagConfig& config) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault management plane
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Reroute controller: reacts to HopDownEvents raised by hop transmitters,
+// reconciles the drained flits against the peer receiver's sequence state,
+// quiesces the flow's old path suffix, and swaps flow tables onto the
+// precomputed backup route (DagPlan::Reroute). Every decision is a pure
+// function of simulation state and the deterministic poll timeline, so
+// faulted runs replay bit-identically from their seed like clean ones.
+class FaultController {
+ public:
+  struct Item {
+    const DagPlan::Reroute* reroute = nullptr;
+    /// RX side of the dead segment, read at detection time to reconcile
+    /// which drained flits already got through (null when the peer relay
+    /// fail-stopped and its sequence state is gone).
+    Endpoint* peer_rx = nullptr;
+    bool peer_failed = false;
+    /// Switchover site: the dead segment's origin relay and its old/new
+    /// egress ports (origin_relay stays null for a terminal origin, which
+    /// can never have a backup — its single uplink is the dead hop).
+    switchdev::RelaySwitch* origin_relay = nullptr;
+    std::size_t old_port = 0;
+    std::size_t new_port = 0;
+    /// Flow-table writes that activate the backup path, in path order.
+    std::vector<std::pair<switchdev::RelaySwitch*, std::size_t>>
+        route_installs;
+    /// Old-path-suffix probes the quiesce phase polls: transmitters whose
+    /// replay buffers and relays whose egress queues must stop holding the
+    /// flow before the backup may carry it (or re-injected flits could
+    /// overtake older in-flight ones).
+    std::vector<Endpoint*> suffix_tx;
+    std::vector<switchdev::RelaySwitch*> suffix_relays;
+    std::vector<Endpoint::TxItem> to_reinject;
+    unsigned polls = 0;
+    bool fired = false;
+    bool resolved = false;
+    DagRerouteReport report;
+  };
+
+  FaultController(sim::EventQueue& queue, TimePs poll_period,
+                  unsigned poll_limit, std::size_t segment_count)
+      : queue_(queue),
+        poll_period_(poll_period),
+        poll_limit_(poll_limit),
+        items_of_segment_(segment_count) {}
+
+  void add_item(Item item) {
+    const std::size_t index = items_.size();
+    items_of_segment_[item.reroute->dead_segment].push_back(index);
+    items_.push_back(std::move(item));
+  }
+
+  [[nodiscard]] bool watches(std::uint32_t segment) const {
+    return !items_of_segment_[segment].empty();
+  }
+
+  void on_hop_down(std::uint32_t segment, Endpoint::HopDownEvent&& event) {
+    for (const std::size_t idx : items_of_segment_[segment]) {
+      Item& item = items_[idx];
+      if (item.fired) continue;
+      item.fired = true;
+      fired_order_.push_back(idx);
+      item.report.flow = item.reroute->flow;
+      item.report.segment = segment;
+      item.report.detected_at = event.at;
+      const std::uint16_t expected =
+          item.peer_failed ? 0 : item.peer_rx->debug_expected_seq();
+      for (Endpoint::HopDownEvent::DrainedFlit& drained : event.drained) {
+        if (drained.item.flow_id != item.reroute->flow) continue;
+        item.report.drained += 1;
+        // Go-back-N acceptance is in-order and cumulative, so the peer's
+        // delivered set is exactly the sequence prefix below its expected
+        // number: a drained entry strictly behind it already got through
+        // (only its acknowledgment was lost) and must not be re-sent.
+        if (!item.peer_failed && link::seq_before(drained.seq, expected)) {
+          item.report.reconciled += 1;
+          continue;
+        }
+        item.to_reinject.push_back(std::move(drained.item));
+      }
+      if (item.reroute->backup_edges.empty()) {
+        item.resolved = true;  // no surviving route: the flow degrades
+        continue;
+      }
+      try_switchover(idx);
+    }
+  }
+
+  [[nodiscard]] std::vector<DagRerouteReport> reports() const {
+    std::vector<DagRerouteReport> out;
+    out.reserve(fired_order_.size());
+    for (const std::size_t idx : fired_order_)
+      out.push_back(items_[idx].report);
+    return out;
+  }
+
+  [[nodiscard]] bool flow_rerouted(std::size_t flow) const {
+    for (const Item& item : items_)
+      if (item.reroute->flow == flow && item.report.rerouted) return true;
+    return false;
+  }
+
+ private:
+  [[nodiscard]] bool quiet(const Item& item) const {
+    const std::uint16_t flow = item.reroute->flow;
+    for (switchdev::RelaySwitch* const relay : item.suffix_relays)
+      if (relay->has_flow_queued(flow)) return false;
+    for (Endpoint* const tx : item.suffix_tx)
+      if (tx->tx_holds_flow(flow)) return false;
+    return true;
+  }
+
+  void try_switchover(std::size_t idx) {
+    Item& item = items_[idx];
+    if (item.resolved) return;
+    if (!quiet(item)) {
+      if (item.polls >= poll_limit_) {
+        item.resolved = true;  // abandoned: the old suffix never drained
+        return;
+      }
+      item.polls += 1;
+      queue_.schedule(poll_period_, [this, idx] { try_switchover(idx); });
+      return;
+    }
+    const std::uint16_t flow = item.reroute->flow;
+    for (const auto& [relay, port] : item.route_installs)
+      relay->set_route(flow, port);
+    if (item.origin_relay != nullptr) {
+      // Drained flits precede anything parked in the old egress queue (the
+      // replay buffer holds the oldest unacknowledged stream positions), so
+      // inject them first, then rotate the parked tail across: per-flow
+      // FIFO order survives the switchover end to end.
+      for (Endpoint::TxItem& tx_item : item.to_reinject)
+        item.origin_relay->inject(item.new_port, std::move(tx_item));
+      item.report.reinjected = item.to_reinject.size();
+      item.to_reinject.clear();
+      item.origin_relay->migrate_pending(item.old_port, item.new_port, flow);
+    }
+    item.report.rerouted = true;
+    item.report.switched_at = queue_.now();
+    item.resolved = true;
+  }
+
+  sim::EventQueue& queue_;
+  TimePs poll_period_;
+  unsigned poll_limit_;
+  std::vector<Item> items_;
+  std::vector<std::vector<std::size_t>> items_of_segment_;
+  std::vector<std::size_t> fired_order_;  ///< detection order, for reports
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Instantiation + run
 // ---------------------------------------------------------------------------
 
@@ -396,6 +650,32 @@ DagReport run_dag_fabric(const DagConfig& config) {
   sim::EventQueue queue;
   Xoshiro256 seeder(config.seed);
   auto kind = [&](std::size_t node) { return config.nodes[node].kind; };
+
+  // Compile the fault plan into one normalized schedule per edge: the
+  // configured per-edge windows, plus a permanent outage on every edge
+  // incident to a fail-stop relay from its failure instant. The vector
+  // outlives the run; channels hold pointers into it. With an empty plan
+  // nothing here runs and every channel keeps its null-schedule fast path
+  // (bit-identical to a build without fault support).
+  const bool faults_on = !config.faults.empty();
+  std::vector<std::uint8_t> node_failed(node_count, 0);
+  std::vector<sim::LinkFaultSchedule> fault_schedules;
+  if (faults_on) {
+    for (const sim::RelayFailStop& failure : config.faults.relay_failures)
+      node_failed[failure.node] = 1;
+    fault_schedules.resize(config.edges.size());
+    for (std::size_t e = 0; e < config.faults.edges.size(); ++e)
+      fault_schedules[e] = config.faults.edges[e];
+    for (const sim::RelayFailStop& failure : config.faults.relay_failures) {
+      for (std::size_t e = 0; e < config.edges.size(); ++e) {
+        if (config.edges[e].src == failure.node ||
+            config.edges[e].dst == failure.node)
+          fault_schedules[e].add_window(failure.at, 0);
+      }
+    }
+    for (sim::LinkFaultSchedule& schedule : fault_schedules)
+      schedule.normalize();
+  }
 
   // Hub out-edge port order (edge-id order, as in plan_dag).
   std::vector<std::vector<std::uint16_t>> out_edges(node_count);
@@ -426,6 +706,7 @@ DagReport run_dag_fabric(const DagConfig& config) {
         make_error_model(edge.ber, edge.burst_injection_rate,
                          edge.burst_symbols),
         seed, config.slot, edge.latency);
+    if (faults_on) channels[e]->set_fault_schedule(&fault_schedules[e]);
   }
 
   std::vector<std::unique_ptr<switchdev::RelaySwitch>> relays(node_count);
@@ -482,6 +763,10 @@ DagReport run_dag_fabric(const DagConfig& config) {
   std::vector<std::unique_ptr<sim::LinkChannel>> control_channels;
   std::vector<std::uint32_t> rep_of(plan.segments.size(), 0);
   std::vector<std::uint8_t> processed(plan.segments.size(), 0);
+  // Per-segment transmitter/receiver endpoints, for the fault controller's
+  // hop-down handlers, reconciliation reads, and quiesce probes.
+  std::vector<Endpoint*> seg_tx(plan.segments.size(), nullptr);
+  std::vector<Endpoint*> seg_rx(plan.segments.size(), nullptr);
   for (std::size_t si = 0; si < plan.segments.size(); ++si) {
     if (processed[si]) continue;
     const DagPlan::Segment& segment = plan.segments[si];
@@ -526,6 +811,14 @@ DagReport run_dag_fabric(const DagConfig& config) {
                            edge.burst_symbols),
           seeder(), config.slot, edge.latency));
       domain.reverse = control_channels.back().get();
+      // The implicit control wire shares the forward edge's physical link:
+      // when that cable is down, acknowledgments die with the data (this is
+      // what starves the TX into declaring the hop dead). Paired domains
+      // route acks over the mate edge, which carries its own schedule —
+      // fault plans for bidirectional hops must down both edges.
+      if (faults_on)
+        domain.reverse->set_fault_schedule(
+            &fault_schedules[segment.egress_edge]);
     }
 
     domain.a->set_output(domain.forward);
@@ -575,6 +868,12 @@ DagReport run_dag_fabric(const DagConfig& config) {
       note_relay_edges(segment.peer, domain.rep, segment.ingress_edge,
                        DagRelayPort::kNoEdge);
     }
+    seg_tx[si] = domain.a;
+    seg_rx[si] = domain.b;
+    if (paired) {
+      seg_tx[*segment.mate] = domain.b;
+      seg_rx[*segment.mate] = domain.a;
+    }
     domains.push_back(domain);
   }
 
@@ -586,6 +885,67 @@ DagReport run_dag_fabric(const DagConfig& config) {
       relays[segment.origin]->set_route(
           static_cast<std::uint16_t>(f),
           relay_port_of.at({segment.origin, rep_of[si]}));
+    }
+  }
+
+  // Fault management plane: resolve each planned reroute to its runtime
+  // pointers and install hop-down handlers on the transmitters of doomed
+  // segments. Endpoints on a fail-stop relay still simulate (their incident
+  // links just go dark), but their events carry no recoverable state, so
+  // the controller never watches them.
+  std::unique_ptr<FaultController> controller;
+  if (faults_on && !plan.reroutes.empty()) {
+    controller = std::make_unique<FaultController>(
+        queue, config.reroute_poll, config.reroute_quiesce_limit,
+        plan.segments.size());
+    for (const DagPlan::Reroute& reroute : plan.reroutes) {
+      const DagPlan::Segment& dead = plan.segments[reroute.dead_segment];
+      FaultController::Item item;
+      item.reroute = &reroute;
+      item.peer_failed = node_failed[dead.peer] != 0;
+      item.peer_rx = item.peer_failed ? nullptr : seg_rx[reroute.dead_segment];
+      if (kind(dead.origin) == DagNodeKind::kRelay) {
+        item.origin_relay = relays[dead.origin].get();
+        item.old_port =
+            relay_port_of.at({dead.origin, rep_of[reroute.dead_segment]});
+      }
+      if (!reroute.backup_segments.empty()) {
+        const std::uint32_t first = reroute.backup_segments.front();
+        if (item.origin_relay != nullptr)
+          item.new_port = relay_port_of.at({dead.origin, rep_of[first]});
+        for (const std::uint32_t si : reroute.backup_segments) {
+          const DagPlan::Segment& segment = plan.segments[si];
+          if (kind(segment.origin) != DagNodeKind::kRelay) continue;
+          item.route_installs.emplace_back(
+              relays[segment.origin].get(),
+              relay_port_of.at({segment.origin, rep_of[si]}));
+        }
+      }
+      // Old-path suffix: every segment after the dead one still drains
+      // in-flight flits toward the destination; the quiesce phase waits for
+      // them so re-injected traffic cannot overtake. Probes on a fail-stop
+      // relay are skipped — anything it holds is lost, and waiting on its
+      // frozen queues would only burn the poll budget.
+      const std::vector<std::uint32_t>& fsegs =
+          plan.flow_segments[reroute.flow];
+      auto it = std::find(fsegs.begin(), fsegs.end(), reroute.dead_segment);
+      assert(it != fsegs.end());
+      for (++it; it != fsegs.end(); ++it) {
+        const DagPlan::Segment& segment = plan.segments[*it];
+        if (node_failed[segment.origin] != 0) continue;
+        if (kind(segment.origin) == DagNodeKind::kRelay)
+          item.suffix_relays.push_back(relays[segment.origin].get());
+        item.suffix_tx.push_back(seg_tx[*it]);
+      }
+      controller->add_item(std::move(item));
+    }
+    for (std::uint32_t si = 0;
+         si < static_cast<std::uint32_t>(plan.segments.size()); ++si) {
+      if (!controller->watches(si)) continue;
+      FaultController* const ctrl = controller.get();
+      seg_tx[si]->set_hop_down([ctrl, si](Endpoint::HopDownEvent&& event) {
+        ctrl->on_hop_down(si, std::move(event));
+      });
     }
   }
 
@@ -648,7 +1008,10 @@ DagReport run_dag_fabric(const DagConfig& config) {
     flow_report.offered = offered[f];
     flow_report.scoreboard = boards[f].finalize();
     flow_report.path_edges = plan.flow_paths[f];
+    flow_report.rerouted =
+        controller != nullptr && controller->flow_rerouted(f);
   }
+  if (controller != nullptr) report.reroutes = controller->reports();
   for (const Domain& domain : domains) {
     const DagPlan::Segment& segment = plan.segments[domain.rep];
     DagLinkStats hop;
@@ -777,6 +1140,49 @@ std::uint64_t DagReport::max_relay_queue_depth() const {
       if (port.stats.max_queue_depth > highest)
         highest = port.stats.max_queue_depth;
   return highest;
+}
+
+std::uint64_t DagReport::total_hops_declared_dead() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.hops_declared_dead + hop.b_extra.hops_declared_dead;
+  return total;
+}
+
+std::uint64_t DagReport::total_dead_flits_drained() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.dead_flits_drained + hop.b_extra.dead_flits_drained;
+  return total;
+}
+
+std::uint64_t DagReport::total_credits_refunded() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.credits_refunded + hop.b_extra.credits_refunded;
+  return total;
+}
+
+std::uint64_t DagReport::total_flap_recoveries() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.flap_recoveries + hop.b_extra.flap_recoveries;
+  return total;
+}
+
+std::uint64_t DagReport::total_flits_blackholed() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.forward_channel.flits_blackholed +
+             hop.reverse_channel.flits_blackholed;
+  return total;
+}
+
+std::uint64_t DagReport::total_reroutes_executed() const {
+  std::uint64_t total = 0;
+  for (const DagRerouteReport& reroute : reroutes)
+    if (reroute.rerouted) total += 1;
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -978,6 +1384,55 @@ DagConfig make_hotspot_dag(const DagScenarioSpec& spec, std::size_t sources) {
                                    spec.flits_per_flow, 0x407u + i});
   config.flows.push_back(DagFlow{static_cast<std::uint16_t>(sources - 1),
                                  cold, spec.flits_per_flow, 0xC07D});
+  return config;
+}
+
+DagConfig make_diamond_dag(const DagScenarioSpec& spec, std::size_t sources,
+                           std::size_t branches) {
+  assert(sources >= 1 && branches >= 1);
+  DagConfig config = base_scenario_config(spec);
+  for (std::size_t i = 0; i < sources; ++i) {
+    std::string name = "src";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  const std::uint16_t r0 = static_cast<std::uint16_t>(sources);
+  config.nodes.push_back(DagNode{"r0", DagNodeKind::kRelay, {}});
+  for (std::size_t j = 0; j < branches; ++j) {
+    std::string name = "m";
+    name += std::to_string(j);
+    config.nodes.push_back(DagNode{std::move(name), DagNodeKind::kRelay, {}});
+  }
+  const std::uint16_t r1 = static_cast<std::uint16_t>(sources + branches + 1);
+  config.nodes.push_back(DagNode{"r1", DagNodeKind::kRelay, {}});
+  for (std::size_t i = 0; i < sources; ++i) {
+    std::string name = "dst";
+    name += std::to_string(i);
+    config.nodes.push_back(
+        DagNode{std::move(name), DagNodeKind::kTerminal, {}});
+  }
+  config.max_ports = std::max(config.max_ports, sources + branches);
+  // Edge-id layout documented in the header: source uplinks first, then the
+  // branch edge pairs interleaved (R0 -> M_j at sources + 2j, M_j -> R1 at
+  // sources + 2j + 1), then the sink downlinks. BFS ties break on the
+  // lowest edge id, so every primary path rides M_0.
+  for (std::size_t i = 0; i < sources; ++i)
+    config.edges.push_back(
+        scenario_edge(spec, static_cast<std::uint16_t>(i), r0));
+  for (std::size_t j = 0; j < branches; ++j) {
+    const std::uint16_t mid = static_cast<std::uint16_t>(sources + 1 + j);
+    config.edges.push_back(scenario_edge(spec, r0, mid));
+    config.edges.push_back(scenario_edge(spec, mid, r1));
+  }
+  for (std::size_t i = 0; i < sources; ++i)
+    config.edges.push_back(scenario_edge(
+        spec, r1, static_cast<std::uint16_t>(sources + branches + 2 + i)));
+  for (std::size_t i = 0; i < sources; ++i)
+    config.flows.push_back(
+        DagFlow{static_cast<std::uint16_t>(i),
+                static_cast<std::uint16_t>(sources + branches + 2 + i),
+                spec.flits_per_flow, 0xD1A0u + i});
   return config;
 }
 

@@ -49,7 +49,7 @@ Endpoint::Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
 // --------------------------------------------------------------------------
 
 void Endpoint::kick() {
-  if (output_ == nullptr || kick_scheduled_) return;
+  if (output_ == nullptr || kick_scheduled_ || hop_dead_) return;
   const TimePs free_at = output_->next_free();
   if (free_at > queue_.now()) {
     kick_scheduled_ = true;
@@ -70,6 +70,7 @@ void Endpoint::kick() {
 }
 
 bool Endpoint::send_one() {
+  if (hop_dead_) return false;
   // Priority 1: control flits (NACKs must reach the peer promptly).
   if (!control_queue_.empty()) {
     sim::FlitEnvelope envelope;
@@ -235,12 +236,17 @@ void Endpoint::arm_retry_timer() {
 }
 
 void Endpoint::on_retry_timer() {
-  if (retry_buffer_.empty()) return;
+  if (hop_dead_ || retry_buffer_.empty()) return;
   if (queue_.now() - last_ack_progress_ >= config_.retry_timeout) {
     // No ACK progress for a full timeout: assume a lost ACK/NACK and replay
     // everything outstanding.
     extra_.retry_timeouts += 1;
     stats_.retry_rounds += 1;
+    note_silent_episode();
+    if (hop_death_due()) {
+      declare_hop_dead();
+      return;
+    }
     last_ack_progress_ = queue_.now();
     if (auto oldest = retry_buffer_.oldest_seq()) begin_replay_from(*oldest);
     kick();
@@ -307,10 +313,19 @@ void Endpoint::on_credit_timer() {
 }
 
 void Endpoint::on_credit_probe_timer() {
-  if (!credit_stalled_) return;
+  if (hop_dead_ || !credit_stalled_) return;
   // Still starved a full retry timeout after the stall began: the peer's
   // latest return may have been corrupted in transit and nothing else is
   // flowing to heal the cumulative count. Ask it to re-advertise.
+  // A probe that goes unanswered by a completely silent peer also counts
+  // against the death budget — a dead wire can starve a window with an
+  // EMPTY retry buffer (everything acked, returns lost), and without this
+  // the retry timer would never run to notice.
+  note_silent_episode();
+  if (hop_death_due()) {
+    declare_hop_dead();
+    return;
+  }
   extra_.credit_probes += 1;
   enqueue_control(flit::ReplayCmd::kSeqNum, kCreditProbeFsn);
   kick();
@@ -330,11 +345,75 @@ void Endpoint::process_credit_word(std::uint16_t credit_word) {
 }
 
 // --------------------------------------------------------------------------
+// Failure detection
+// --------------------------------------------------------------------------
+
+bool Endpoint::hop_death_due() const noexcept {
+  if (config_.max_retry_episodes > 0 &&
+      silent_episodes_ >= config_.max_retry_episodes)
+    return true;
+  return config_.dead_hop_timeout > 0 &&
+         queue_.now() - last_peer_activity_ >= config_.dead_hop_timeout;
+}
+
+void Endpoint::note_silent_episode() {
+  // An episode only counts toward the death budget when the peer sent
+  // NOTHING for a whole timeout — a zero-progress ACK or a NACK storm
+  // proves the wire and peer are alive (e.g. deep congestion), and must
+  // never be escalated into a hop death.
+  if (queue_.now() - last_peer_activity_ >= config_.retry_timeout) {
+    silent_episodes_ += 1;
+  } else {
+    silent_episodes_ = 0;
+  }
+}
+
+void Endpoint::declare_hop_dead() {
+  assert(!hop_dead_);
+  hop_dead_ = true;
+  extra_.hops_declared_dead += 1;
+  retry_timer_.cancel();
+  ack_timer_.cancel();
+  nack_timer_.cancel();
+  credit_timer_.cancel();
+  credit_probe_timer_.cancel();
+  credit_stalled_ = false;
+  replay_cursor_.reset();
+  single_resends_.clear();
+  control_queue_.clear();
+
+  HopDownEvent event;
+  event.at = queue_.now();
+  event.drained.reserve(retry_buffer_.size());
+  retry_buffer_.for_each([&](const link::RetryBuffer::Entry& entry) {
+    HopDownEvent::DrainedFlit drained;
+    drained.seq = entry.seq;
+    const auto payload = entry.flit.payload();
+    drained.item.payload.assign(payload.begin(), payload.end());
+    drained.item.truth_index = entry.user_tag;
+    drained.item.flow_id = entry.flow_tag;
+    event.drained.push_back(std::move(drained));
+  });
+  extra_.dead_flits_drained += event.drained.size();
+  retry_buffer_.clear();
+  // Satellite of the same fix as PR 5's no-route drop: every window slot
+  // still reserved on this hop (drained flits AND flits delivered whose
+  // return can no longer arrive) is refunded, so the conservation ledger
+  // closes as consumed == granted + refunded even across a link death.
+  extra_.credits_refunded += credit_window_.refund_outstanding();
+  if (hop_down_) hop_down_(std::move(event));
+}
+
+// --------------------------------------------------------------------------
 // RX path
 // --------------------------------------------------------------------------
 
 void Endpoint::on_flit(sim::FlitEnvelope&& envelope) {
   stats_.flits_received += 1;
+  // Any arrival — even a corrupted one — proves the wire delivers and the
+  // peer transmits: it resets the silent-peer death budget.
+  last_peer_activity_ = queue_.now();
+  if (hop_dead_) return;  // inert: late arrivals are dropped unprocessed
 
   // Link-layer FEC at the endpoint's own ingress. Pristine images are valid
   // codewords by construction, so decode is skipped without changing
@@ -507,6 +586,12 @@ void Endpoint::process_acknum(std::uint16_t acknum) {
   const std::size_t released = retry_buffer_.ack_up_to(acknum);
   if (released > 0) {
     last_ack_progress_ = queue_.now();
+    if (silent_episodes_ > 0) {
+      // The link flapped (or the peer was wedged) long enough to burn part
+      // of the death budget, and real ACK progress resumed: a recovery.
+      extra_.flap_recoveries += 1;
+      silent_episodes_ = 0;
+    }
     // If an in-progress replay now points at released entries, realign it.
     if (replay_cursor_.has_value() &&
         retry_buffer_.find(*replay_cursor_) == nullptr) {

@@ -4,6 +4,9 @@
 
 #include <array>
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "rxl/common/bytes.hpp"
 #include "rxl/common/types.hpp"
@@ -202,6 +205,84 @@ TEST(NoErrors, NeverTouches) {
   Xoshiro256 rng(15);
   Buffer flit{};
   EXPECT_EQ(model.corrupt(flit, rng), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Re-equalization (reset): a link revived after a fault-plan down window
+// must not carry pre-outage channel state into the new link-up episode.
+// --------------------------------------------------------------------------
+
+TEST(GilbertElliott, ResetReturnsToTheGoodState) {
+  GilbertElliott::Params params;
+  params.p_good_to_bad = 0.5;  // drop into the bad state almost immediately
+  params.p_bad_to_good = 1e-12;
+  params.ber_good = 0.0;
+  params.ber_bad = 1e-2;
+  GilbertElliott model(params);
+  Xoshiro256 rng(16);
+  Buffer flit{};
+  std::size_t flipped = 0;
+  for (int i = 0; i < 64 && !model.in_bad_state(); ++i)
+    flipped += model.corrupt(flit, rng);
+  ASSERT_TRUE(model.in_bad_state());
+  model.reset();
+  EXPECT_FALSE(model.in_bad_state());
+}
+
+TEST(TargetedDoubleError, ResetRestartsTheTransitCount) {
+  // The Nth flit of the CURRENT link-up episode is the target: after a
+  // revival the count starts over, so the same transit index is hit again.
+  TargetedDoubleError model(1);
+  Xoshiro256 rng(17);
+  Buffer flit{};
+  EXPECT_EQ(model.corrupt(flit, rng), 0u);  // transit 0: spared
+  EXPECT_GT(model.corrupt(flit, rng), 0u);  // transit 1: killed
+  EXPECT_EQ(model.corrupt(flit, rng), 0u);  // transit 2: past the target
+  model.reset();
+  EXPECT_EQ(model.corrupt(flit, rng), 0u);  // transit 0 again
+  EXPECT_GT(model.corrupt(flit, rng), 0u);  // transit 1 again
+}
+
+TEST(BernoulliGate, ResetForwardsToTheInnerModel) {
+  // The gate itself is stateless; reset() must reach through to the gated
+  // model (here: a transit counter that only re-fires if reset worked).
+  BernoulliGate gate(1.0, std::make_unique<TargetedDoubleError>(0));
+  Xoshiro256 rng(18);
+  Buffer flit{};
+  EXPECT_GT(gate.corrupt(flit, rng), 0u);
+  EXPECT_EQ(gate.corrupt(flit, rng), 0u);
+  gate.reset();
+  EXPECT_GT(gate.corrupt(flit, rng), 0u);
+}
+
+TEST(CompositeErrorModel, ResetForwardsToEveryPart) {
+  std::vector<std::unique_ptr<ErrorModel>> parts;
+  parts.push_back(std::make_unique<TargetedDoubleError>(0));
+  parts.push_back(std::make_unique<TargetedDoubleError>(0));
+  CompositeErrorModel composite(std::move(parts));
+  Xoshiro256 rng(19);
+  Buffer flit{};
+  EXPECT_EQ(composite.corrupt(flit, rng), 16u);  // both parts fire
+  EXPECT_EQ(composite.corrupt(flit, rng), 0u);   // both past their target
+  composite.reset();
+  EXPECT_EQ(composite.corrupt(flit, rng), 16u);  // both fire again
+}
+
+TEST(DfeBurstErrors, PropagationRunClampsAtTheFlitBoundary) {
+  // propagation = 1.0 makes every run extend forever; the model must clamp
+  // the run at the end of the flit image instead of walking past it, and
+  // the reported flip count must still match the buffer exactly.
+  DfeBurstErrors model(1e-3, 1.0);
+  Xoshiro256 rng(20);
+  for (int trial = 0; trial < 200; ++trial) {
+    Buffer flit{};
+    const std::size_t reported = model.corrupt(flit, rng);
+    EXPECT_EQ(popcount(flit), reported);
+    if (reported > 0) {
+      // A run that started anywhere flips every bit through the last one.
+      EXPECT_TRUE(get_bit(flit, kFlitBytes * 8 - 1));
+    }
+  }
 }
 
 }  // namespace

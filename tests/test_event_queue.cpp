@@ -247,6 +247,52 @@ TEST(Timer, CancelThenRearmFiresAtTheNewDeadlineOnly) {
   EXPECT_EQ(fires, (std::vector<TimePs>{70}));
 }
 
+TEST(Timer, CancelThenRearmAtThePendingDeadlineFiresExactlyOnce) {
+  // The sharpest generation-check case: the stale entry and the fresh one
+  // pop at the SAME timestamp, in FIFO order. The stale pop must no-op on
+  // its generation mismatch and the fresh pop must fire — exactly one
+  // callback, not zero (over-cancel) and not two (under-cancel).
+  EventQueue queue;
+  std::vector<TimePs> fires;
+  Timer timer(queue, [&] { fires.push_back(queue.now()); });
+  timer.arm_at(100);
+  timer.cancel();
+  timer.arm_at(100);  // same deadline, new generation
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.deadline(), 100u);
+  queue.run();
+  EXPECT_EQ(fires, (std::vector<TimePs>{100}));
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, CallbackMayRearmAtTheFiringInstant) {
+  // Re-arming from inside the fire callback AT the firing timestamp must
+  // schedule a genuinely new firing in the same instant (FIFO after any
+  // event already queued at now()), not be swallowed as the stale entry of
+  // the firing that is currently running.
+  EventQueue queue;
+  int fired = 0;
+  struct SameInstant {
+    EventQueue& queue;
+    Timer timer;
+    int* fired;
+    SameInstant(EventQueue& q, int* f)
+        : queue(q), timer(q, [this] { fire(); }), fired(f) {}
+    void fire() {
+      ++*fired;
+      if (*fired < 3) timer.arm_at(queue.now());
+    }
+  } same_instant(queue, &fired);
+  same_instant.timer.arm_at(60);
+  bool bystander_ran = false;
+  queue.schedule_at(60, [&] { bystander_ran = true; });
+  queue.run();
+  EXPECT_EQ(fired, 3);  // all three firings, all at t=60
+  EXPECT_EQ(queue.now(), 60u);
+  EXPECT_TRUE(bystander_ran);
+  EXPECT_FALSE(same_instant.timer.armed());
+}
+
 // A miniature stochastic simulation whose result folds in event timestamps
 // and execution order; any nondeterminism in scheduling or in the trial
 // sharding shows up as a checksum mismatch.

@@ -1,0 +1,257 @@
+// Property-based resilience sweeps: randomized diamond fabrics under three
+// fault regimes — mid-stream link death, early relay fail-stop, and
+// survivable flap trains — must keep the RXL end-to-end contract intact:
+// every payload arrives exactly once, in order, and the credit ledger
+// closes (consumed == granted + refunded) even across hop deaths and
+// planned reroutes. Every trial derives from one generator seed printed on
+// failure, so any counterexample replays with one number.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/sim/fault_plan.hpp"
+#include "rxl/sim/trial_runner.hpp"
+#include "rxl/transport/dag_fabric.hpp"
+
+namespace rxl::transport {
+namespace {
+
+enum class FaultMode { kLinkDeath, kRelayFailStop, kFlaps };
+
+struct Universe {
+  DagConfig config;
+  FaultMode mode = FaultMode::kLinkDeath;
+  const char* mode_name = "";
+};
+
+Universe random_universe(std::uint64_t gen_seed) {
+  Xoshiro256 rng(gen_seed);
+  DagScenarioSpec spec;
+  spec.protocol.protocol = Protocol::kRxl;
+  spec.protocol.coalesce_factor = static_cast<unsigned>(4 + rng.bounded(8));
+  // Both the retry timer and the credit probe count silent episodes (~2
+  // per retry timeout while a stall lasts): 6 episodes rides out one
+  // outage-plus-replay cycle of ~2 timeouts, while a dead hop is still
+  // declared within ~3 timeouts of the fault.
+  spec.protocol.max_retry_episodes = 6;
+  constexpr double kBurstRates[] = {0.0, 5e-4, 1e-3};
+  constexpr double kBitErrorRates[] = {0.0, 1e-5};
+  spec.burst_injection_rate = kBurstRates[rng.bounded(3)];
+  spec.ber = kBitErrorRates[rng.bounded(2)];
+  spec.flits_per_flow = 200 + rng.bounded(201);
+  spec.seed = rng();
+  spec.horizon = 400'000'000;  // 400 us: detection + quiesce + redelivery
+  spec.hop_credits = 2 + rng.bounded(5);
+
+  const std::size_t sources = 2 + rng.bounded(3);   // 2..4
+  const std::size_t branches = 2 + rng.bounded(2);  // 2..3
+  Universe universe;
+  universe.config = make_diamond_dag(spec, sources, branches);
+  // A 100 ns slot puts the stream's serialization floor (flits x slot) at
+  // 20-40 us, so every fault window below is guaranteed to land on live
+  // traffic; at the default 2 ns slot the stream would drain first.
+  universe.config.slot = 100'000;
+  // All primary traffic rides M_0: R0 -> M_0 is edge `sources` and the
+  // fail-stop relay M_0 is node sources+1 (the builder's documented
+  // layout), so every fault below hits every flow's primary path.
+  const std::uint16_t primary_edge = static_cast<std::uint16_t>(sources);
+  const std::uint16_t m0_node = static_cast<std::uint16_t>(sources + 1);
+  switch (rng.bounded(3)) {
+    case 0: {
+      // Link death mid-stream: the primary branch ingress edge goes down
+      // forever somewhere in [2, 12] us — always under the 20 us floor.
+      const TimePs at = 2'000'000 + rng.bounded(10'000'001);
+      universe.config.faults.edge(primary_edge).add_window(at, 0);
+      universe.mode = FaultMode::kLinkDeath;
+      universe.mode_name = "link-death";
+      break;
+    }
+    case 1: {
+      // Relay fail-stop before any payload can reach it (the first flit
+      // needs two hops of slot + latency, >= 200 ns, to arrive at M_0):
+      // the relay's protocol state is lost while every drained flit is
+      // still provably undelivered, so reconciliation must find nothing.
+      const TimePs at = rng.bounded(100'001);
+      universe.config.faults.relay_failures.push_back({m0_node, at});
+      universe.mode = FaultMode::kRelayFailStop;
+      universe.mode_name = "relay-fail-stop";
+      break;
+    }
+    default: {
+      // One survivable mid-stream flap: an outage of 4.5-6.5 us (longer
+      // than one 4 us retry timeout, so the flap forces observable silent
+      // episodes, yet within the 6-episode budget). The generator horizon
+      // admits exactly one window (first at start + gap in [9, 13] us,
+      // under the 20 us traffic floor; the next would land at >= 17 us).
+      const TimePs outage = 4'500'000 + rng.bounded(2'000'001);
+      universe.config.faults.edge(primary_edge) = sim::make_flap_schedule(
+          rng(), /*start=*/1'000'000, /*horizon=*/14'000'000,
+          /*mean_gap=*/8'000'000, outage);
+      universe.mode = FaultMode::kFlaps;
+      universe.mode_name = "flaps";
+      break;
+    }
+  }
+  return universe;
+}
+
+/// Everything the main thread needs to assert (and to name the culprit).
+struct TrialOutcome {
+  std::uint64_t gen_seed = 0;
+  FaultMode mode = FaultMode::kLinkDeath;
+  const char* mode_name = "";
+  std::size_t flow_count = 0;
+  std::uint64_t budget_total = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t in_order = 0;
+  std::uint64_t order_failures = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t misrouted = 0;
+  std::uint64_t hops_declared_dead = 0;
+  std::uint64_t reroutes_executed = 0;
+  std::uint64_t flap_recoveries = 0;
+  std::uint64_t flits_blackholed = 0;
+  std::uint64_t credits_consumed = 0;
+  std::uint64_t credits_granted = 0;
+  std::uint64_t credits_refunded = 0;
+  bool drains_balanced = true;   ///< drained == reconciled + reinjected
+  bool episodes_ordered = true;  ///< detected_at <= switched_at when rerouted
+  bool reconciliation_clean = true;  ///< fail-stop: nothing provably delivered
+  bool all_flows_rerouted = true;
+};
+
+TrialOutcome run_property_trial(std::uint64_t gen_seed) {
+  const Universe universe = random_universe(gen_seed);
+  const DagReport report = run_dag_fabric(universe.config);
+  TrialOutcome outcome;
+  outcome.gen_seed = gen_seed;
+  outcome.mode = universe.mode;
+  outcome.mode_name = universe.mode_name;
+  outcome.flow_count = universe.config.flows.size();
+  for (const DagFlow& flow : universe.config.flows)
+    outcome.budget_total += flow.flits;
+  outcome.offered = report.total_offered();
+  outcome.in_order = report.total_in_order();
+  outcome.order_failures = report.total_order_failures();
+  outcome.missing = report.total_missing();
+  outcome.corruptions = report.total_data_corruptions();
+  outcome.misrouted = report.misrouted;
+  outcome.hops_declared_dead = report.total_hops_declared_dead();
+  outcome.reroutes_executed = report.total_reroutes_executed();
+  outcome.flap_recoveries = report.total_flap_recoveries();
+  outcome.flits_blackholed = report.total_flits_blackholed();
+  outcome.credits_consumed = report.total_credits_consumed();
+  outcome.credits_granted = report.total_credits_granted();
+  outcome.credits_refunded = report.total_credits_refunded();
+  for (const DagFlowReport& flow : report.flows) {
+    outcome.duplicates += flow.scoreboard.duplicates;
+    if (!flow.rerouted) outcome.all_flows_rerouted = false;
+  }
+  for (const DagRerouteReport& episode : report.reroutes) {
+    if (episode.drained != episode.reconciled + episode.reinjected)
+      outcome.drains_balanced = false;
+    if (episode.rerouted && episode.switched_at < episode.detected_at)
+      outcome.episodes_ordered = false;
+    if (episode.reconciled != 0) outcome.reconciliation_clean = false;
+  }
+  return outcome;
+}
+
+void assert_resilience_invariants(const TrialOutcome& outcome) {
+  SCOPED_TRACE(std::string("replay with generator seed ") +
+               std::to_string(outcome.gen_seed) + " (mode " +
+               outcome.mode_name + ")");
+  // Exactly-once, in-order, uncorrupted — across the fault, whatever it was.
+  EXPECT_EQ(outcome.offered, outcome.budget_total);
+  EXPECT_EQ(outcome.in_order, outcome.budget_total);
+  EXPECT_EQ(outcome.order_failures, 0u);
+  EXPECT_EQ(outcome.duplicates, 0u);
+  EXPECT_EQ(outcome.missing, 0u);
+  EXPECT_EQ(outcome.corruptions, 0u);
+  EXPECT_EQ(outcome.misrouted, 0u);
+  // The credit ledger closes even across hop deaths: every consumed slot
+  // was either granted back by the peer or refunded at drain time.
+  EXPECT_EQ(outcome.credits_consumed,
+            outcome.credits_granted + outcome.credits_refunded);
+  EXPECT_TRUE(outcome.drains_balanced);
+  EXPECT_TRUE(outcome.episodes_ordered);
+  // Every fault regime actually exercised the wire-level fault path.
+  EXPECT_GT(outcome.flits_blackholed, 0u);
+  switch (outcome.mode) {
+    case FaultMode::kLinkDeath:
+      EXPECT_GE(outcome.hops_declared_dead, 1u);
+      EXPECT_EQ(outcome.reroutes_executed, outcome.flow_count);
+      EXPECT_TRUE(outcome.all_flows_rerouted);
+      break;
+    case FaultMode::kRelayFailStop:
+      EXPECT_GE(outcome.hops_declared_dead, 1u);
+      EXPECT_EQ(outcome.reroutes_executed, outcome.flow_count);
+      EXPECT_TRUE(outcome.all_flows_rerouted);
+      // The relay died before anything reached it: reconciliation against
+      // a lost peer must never claim a delivery.
+      EXPECT_TRUE(outcome.reconciliation_clean);
+      EXPECT_EQ(outcome.credits_refunded > 0, true);
+      break;
+    case FaultMode::kFlaps:
+      // Flaps within the budget must be absorbed in place: no death, no
+      // reroute — but the recovery path must actually have run.
+      EXPECT_EQ(outcome.hops_declared_dead, 0u);
+      EXPECT_EQ(outcome.reroutes_executed, 0u);
+      EXPECT_EQ(outcome.credits_refunded, 0u);
+      EXPECT_GE(outcome.flap_recoveries, 1u);
+      break;
+  }
+}
+
+/// 4 batches x 16 generator seeds = 64 randomized fault universes, sharded
+/// across workers by the TrialRunner.
+class FaultProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultProperties, ExactlyOnceInOrderAcrossFaultsEverywhere) {
+  const std::uint64_t base = GetParam();
+  const auto outcomes = sim::run_trials(16, [base](std::size_t trial) {
+    return run_property_trial(base + 0x1000 * trial);
+  });
+  std::uint64_t death_universes = 0;
+  std::uint64_t flap_universes = 0;
+  for (const TrialOutcome& outcome : outcomes) {
+    assert_resilience_invariants(outcome);
+    if (outcome.mode == FaultMode::kFlaps)
+      flap_universes += 1;
+    else
+      death_universes += 1;
+  }
+  // The sweep must not silently degenerate to one regime.
+  EXPECT_GT(death_universes, 0u);
+  EXPECT_GT(flap_universes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, FaultProperties,
+                         ::testing::Values(0xFA01'0001ull, 0xFA01'0002ull,
+                                           0xFA01'0003ull, 0xFA01'0004ull));
+
+/// The reroute controller runs inside sharded Monte Carlo trials; pin the
+/// merge determinism contract on the fault family (1 worker vs 4 workers,
+/// field-identical outcomes in trial order).
+TEST(FaultProperties, TrialRunnerShardingIsDeterministic) {
+  auto trial = [](std::size_t i) {
+    return run_property_trial(0xFA01'0001ull + 0x1000 * i);
+  };
+  const auto serial = sim::run_trials(8, trial, /*workers=*/1);
+  const auto sharded = sim::run_trials(8, trial, /*workers=*/4);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].in_order, sharded[i].in_order);
+    EXPECT_EQ(serial[i].hops_declared_dead, sharded[i].hops_declared_dead);
+    EXPECT_EQ(serial[i].reroutes_executed, sharded[i].reroutes_executed);
+    EXPECT_EQ(serial[i].flap_recoveries, sharded[i].flap_recoveries);
+    EXPECT_EQ(serial[i].flits_blackholed, sharded[i].flits_blackholed);
+    EXPECT_EQ(serial[i].credits_refunded, sharded[i].credits_refunded);
+  }
+}
+
+}  // namespace
+}  // namespace rxl::transport

@@ -38,7 +38,8 @@ done
 # Deterministic table reproductions: byte-stable across perf work, so any
 # diff in these files is a behaviour change, not noise.
 for table in reliability_table bandwidth_table ablation fig8_fit \
-             hw_overhead scenarios dag_scenarios congestion resilience; do
+             hw_overhead scenarios dag_scenarios congestion resilience \
+             qos; do
   echo "== bench_$table -> $out_dir/$table.txt"
   "$build_dir/bench/bench_$table" > "$out_dir/$table.txt"
 done

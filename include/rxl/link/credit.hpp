@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace rxl::link {
 
@@ -39,6 +40,11 @@ namespace rxl::link {
 /// a 16-bit word and grants are the modular difference between consecutive
 /// counts, so a window must stay below half the count space.
 inline constexpr std::size_t kMaxCreditWindow = 0x7FFF;
+
+/// Virtual channels per hop direction. Each VC gets its own credit word on
+/// control flits (payload bytes [2*vc, 2*vc+2), all CRC-covered), so the
+/// count is bounded by the payload real estate reserved for credit state.
+inline constexpr std::size_t kMaxVcs = 8;
 
 /// Transmit-side window: the hop credits this endpoint may spend on new
 /// data flits. `window == 0` disables flow control (an unbounded peer).
@@ -145,6 +151,109 @@ class CreditReturnLedger {
   std::uint16_t returned_total_ = 0;    ///< cumulative, wraps mod 2^16
   std::uint16_t advertised_cursor_ = 0;  ///< last count stamped on the wire
   std::uint64_t returned_ = 0;
+};
+
+/// Per-virtual-channel partition of transmit windows. Each VC owns a full
+/// window of `window` credits — the receive side provisions one bounded
+/// queue of that depth per VC — so an elephant flow exhausting its VC can
+/// never starve a sibling VC of transmit credits. `num_vcs == 1` is exactly
+/// the legacy single-window behaviour.
+class VcCreditWindows {
+ public:
+  VcCreditWindows(std::size_t window, std::size_t num_vcs)
+      : windows_(num_vcs == 0 ? 1 : num_vcs, CreditWindow(window)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return windows_[0].enabled(); }
+  [[nodiscard]] std::size_t num_vcs() const noexcept {
+    return windows_.size();
+  }
+
+  [[nodiscard]] CreditWindow& vc(std::size_t v) noexcept {
+    return windows_[v];
+  }
+  [[nodiscard]] const CreditWindow& vc(std::size_t v) const noexcept {
+    return windows_[v];
+  }
+
+  /// True when at least one VC could accept a new data flit right now.
+  [[nodiscard]] bool any_available() const noexcept {
+    for (const CreditWindow& w : windows_) {
+      if (w.available()) return true;
+    }
+    return false;
+  }
+
+  /// Dead-hop drain across every partition; returns total credits refunded.
+  std::size_t refund_outstanding() noexcept {
+    std::size_t total = 0;
+    for (CreditWindow& w : windows_) total += w.refund_outstanding();
+    return total;
+  }
+
+  /// Aggregate lifetime counters (sum over VCs), for the legacy invariants.
+  [[nodiscard]] std::uint64_t consumed() const noexcept {
+    std::uint64_t total = 0;
+    for (const CreditWindow& w : windows_) total += w.consumed();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t granted() const noexcept {
+    std::uint64_t total = 0;
+    for (const CreditWindow& w : windows_) total += w.granted();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t refunded() const noexcept {
+    std::uint64_t total = 0;
+    for (const CreditWindow& w : windows_) total += w.refunded();
+    return total;
+  }
+
+ private:
+  std::vector<CreditWindow> windows_;
+};
+
+/// Per-virtual-channel partition of receive-side return ledgers. Every
+/// outbound control flit stamps ALL per-VC cumulative counts (each in its
+/// own CRC-covered word), so a corrupted return on any VC heals exactly
+/// like the single-channel scheme: the next control flit re-carries the
+/// absolute count.
+class VcCreditReturnLedgers {
+ public:
+  VcCreditReturnLedgers(bool enabled, std::size_t num_vcs)
+      : ledgers_(num_vcs == 0 ? 1 : num_vcs, CreditReturnLedger(enabled)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return ledgers_[0].enabled(); }
+  [[nodiscard]] std::size_t num_vcs() const noexcept {
+    return ledgers_.size();
+  }
+
+  [[nodiscard]] CreditReturnLedger& vc(std::size_t v) noexcept {
+    return ledgers_[v];
+  }
+  [[nodiscard]] const CreditReturnLedger& vc(std::size_t v) const noexcept {
+    return ledgers_[v];
+  }
+
+  /// Frees not yet carried by any outbound control flit, over all VCs.
+  [[nodiscard]] std::size_t unadvertised() const noexcept {
+    std::size_t total = 0;
+    for (const CreditReturnLedger& l : ledgers_) total += l.unadvertised();
+    return total;
+  }
+
+  /// Marks every VC's current count as carried (control flits stamp all).
+  void mark_advertised() noexcept {
+    for (CreditReturnLedger& l : ledgers_) l.mark_advertised();
+  }
+
+  /// Aggregate lifetime count of slots freed, summed over VCs.
+  [[nodiscard]] std::uint64_t returned() const noexcept {
+    std::uint64_t total = 0;
+    for (const CreditReturnLedger& l : ledgers_) total += l.returned();
+    return total;
+  }
+
+ private:
+  std::vector<CreditReturnLedger> ledgers_;
 };
 
 }  // namespace rxl::link

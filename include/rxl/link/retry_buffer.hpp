@@ -37,7 +37,8 @@ class RetryBuffer {
   /// likewise rides along so a replay can restore the flit's flow identity
   /// (DAG relays route on it).
   bool push(std::uint16_t seq, const flit::Flit& encoded,
-            std::uint64_t user_tag = 0, std::uint16_t flow_tag = 0);
+            std::uint64_t user_tag = 0, std::uint16_t flow_tag = 0,
+            std::uint8_t vc = 0);
 
   /// Releases all entries up to and including `acked_seq` (cumulative ACK
   /// semantics). Out-of-window acks are ignored (stale duplicates).
@@ -50,6 +51,7 @@ class RetryBuffer {
   struct Entry {
     std::uint16_t seq;
     std::uint16_t flow_tag;
+    std::uint8_t vc;  ///< virtual channel charged for the first transmission
     std::uint64_t user_tag;
     flit::Flit flit;
   };
@@ -86,6 +88,8 @@ class RetryBuffer {
 
  private:
   std::size_t capacity_;
+  // Bounded by capacity_ (<= 512): push() refuses beyond it, so this deque
+  // can never grow without bound. rxl-lint: allow(R6)
   std::deque<Entry> entries_;  ///< ordered oldest -> newest
 };
 

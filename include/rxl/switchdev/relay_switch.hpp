@@ -23,6 +23,7 @@
 // stalls are reported for buffer sizing.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -31,8 +32,10 @@
 #include <vector>
 
 #include "rxl/common/ring_queue.hpp"
+#include "rxl/link/credit.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/link_channel.hpp"
+#include "rxl/switchdev/egress_scheduler.hpp"
 #include "rxl/transport/config.hpp"
 #include "rxl/transport/endpoint.hpp"
 
@@ -52,6 +55,12 @@ struct RelayPortStats {
   /// The port endpoint's TX credit-stall episodes (next hop's buffer full),
   /// mirrored from its EndpointExtraStats for one-stop congestion reports.
   std::uint64_t credit_stalls = 0;
+  /// Per-VC split of ingress_high_water: peak occupancy each VC partition
+  /// reached (<= rx_credits per VC whenever flow control is on).
+  std::array<std::uint64_t, link::kMaxVcs> vc_ingress_high_water{};
+  /// ECN hysteresis transitions on this ingress port's VCs.
+  std::uint64_t ecn_mark_events = 0;   ///< occupancy crossed the threshold
+  std::uint64_t ecn_clear_events = 0;  ///< occupancy fell to threshold/2
 };
 
 class RelaySwitch {
@@ -69,6 +78,26 @@ class RelaySwitch {
   /// Also used mid-run by the fabric's reroute controller to swap a flow
   /// onto its backup path after a hop death.
   void set_route(std::uint16_t flow_id, std::size_t egress_port);
+
+  /// Maps `flow_id` onto a virtual channel (default: VC 0). The VC decides
+  /// which per-VC queue parks the flow's payloads, which credit partition
+  /// they bill, and which ECN mark throttles them.
+  void set_flow_vc(std::uint16_t flow_id, std::uint8_t vc);
+
+  /// Egress scheduling policy for every port of this relay (default kFifo,
+  /// the legacy-identical shared queue).
+  void set_egress_policy(EgressPolicy policy) noexcept {
+    scheduler_.set_policy(policy);
+  }
+  [[nodiscard]] EgressPolicy egress_policy() const noexcept {
+    return scheduler_.policy();
+  }
+
+  /// DRR weight for `vc` (default 1). The scheduler's quantum floor serves
+  /// even weight-0 VCs one flit per round.
+  void set_vc_weight(std::size_t vc, std::uint32_t weight) noexcept {
+    scheduler_.set_weight(vc, weight);
+  }
 
   /// Re-injects a management-plane payload (a flit drained from a dead
   /// hop's retry buffer) at the tail of `egress_port`'s store-and-forward
@@ -110,22 +139,36 @@ class RelaySwitch {
   };
   struct Port {
     std::unique_ptr<transport::Endpoint> endpoint;
-    RingQueue<Pending> pending;
+    /// Per-VC store-and-forward queues. kFifo parks everything in
+    /// queues[0] in arrival order (the legacy shared queue, HOL blocking
+    /// and all); kRoundRobin/kDrr park per VC and let the scheduler drain.
+    std::array<RingQueue<Pending>, link::kMaxVcs> queues;
+    DrrState drr;
     /// Payloads accepted by this port still queued on some egress port —
-    /// the credit-bounded occupancy (distinct from `pending`, which holds
-    /// what this port will transmit regardless of where it entered).
+    /// the credit-bounded occupancy (distinct from `queues`, which hold
+    /// what this port will transmit regardless of where it entered) —
+    /// total and split by the VC whose partition each slot bills.
     std::size_t in_queue = 0;
+    std::array<std::size_t, link::kMaxVcs> in_queue_by_vc{};
+    std::uint8_t ecn_marks = 0;  ///< bitmap pushed into the ingress endpoint
     RelayPortStats stats;
   };
 
   void on_delivered(std::size_t ingress, std::span<const std::uint8_t> payload,
                     const sim::FlitEnvelope& envelope);
+  transport::Endpoint::RelayPull pull_next(std::size_t egress);
+  [[nodiscard]] std::uint8_t vc_of(std::uint16_t flow_id) const noexcept;
+  [[nodiscard]] static std::size_t total_pending(const Port& port) noexcept;
+  void account_dequeue(Pending& pending);
+  void update_ecn(Port& in_port, std::size_t vc);
 
   sim::EventQueue& queue_;
   std::string name_;
   std::vector<Port> ports_;
+  EgressScheduler scheduler_;
   static constexpr std::uint32_t kNoRoute = UINT32_MAX;
-  std::vector<std::uint32_t> routes_;  ///< flow_id -> egress port
+  std::vector<std::uint32_t> routes_;    ///< flow_id -> egress port
+  std::vector<std::uint8_t> flow_vcs_;   ///< flow_id -> VC (default 0)
 };
 
 }  // namespace rxl::switchdev

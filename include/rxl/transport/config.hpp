@@ -74,6 +74,19 @@ struct ProtocolConfig {
   /// control flit has carried them within this window.
   TimePs credit_return_timeout = 1'000'000;  // 1 us
 
+  /// --- Per-flow virtual channels & early backpressure ---
+  /// Virtual channels on this hop (1..link::kMaxVcs). Each VC gets its own
+  /// tx_credits-deep window partition and its own cumulative credit word on
+  /// control flits; 1 (the default) is the legacy single-channel wire image
+  /// and trajectory. Only meaningful when credits are enabled.
+  std::size_t num_vcs = 1;
+  /// ECN-style early backpressure: when a VC's downstream queue occupancy
+  /// reaches this threshold, the receiver marks that VC on every outbound
+  /// control flit and the transmitter stops INJECTING new flits on it
+  /// (replays still flow) until the mark clears at <= threshold/2.
+  /// 0 = disabled (no marks ever stamped; legacy wire image).
+  std::size_t ecn_threshold = 0;
+
   /// --- Failure detection (sim/fault_plan.hpp fault injection) ---
   /// Consecutive timeout-driven retry (or credit-probe) episodes during
   /// which the peer stayed COMPLETELY silent — no ACK, NACK, advert, or

@@ -27,9 +27,11 @@
 // limits, domain exclusivity) before anything is instantiated.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,22 @@ struct DagFlow {
   std::uint16_t dst = 0;  ///< destination terminal node id
   std::uint64_t flits = 0;
   std::uint64_t salt = 0;  ///< payload stream salt
+  /// Virtual channel this flow rides end to end: which per-VC relay queue
+  /// parks it, which credit partition it bills, and which ECN mark throttles
+  /// it. Must be < link::kMaxVcs; hop endpoints are provisioned with
+  /// num_vcs = 1 + the largest VC any flow uses (all-zero = legacy wire
+  /// image, byte-identical).
+  std::uint8_t vc = 0;
+  /// DRR service weight for this flow's VC (flits per scheduler visit).
+  /// Every flow sharing a VC must declare the same weight (plan_dag rejects
+  /// a mismatch — the relay schedules VCs, not flows). Weight 0 is legal:
+  /// the scheduler's quantum floor still serves one flit per round.
+  std::uint32_t weight = 1;
+  /// Minimum spacing between successive source pulls (0 = unpaced, the
+  /// legacy greedy source): payload index i is offered no earlier than
+  /// i * pace. This is how a low-rate "mice" flow is modelled against
+  /// greedy elephants.
+  TimePs pace = 0;
 };
 
 struct DagConfig {
@@ -114,6 +132,20 @@ struct DagConfig {
   /// never drains (e.g. a second fault downstream). Abandoned reroutes are
   /// reported, not fatal.
   unsigned reroute_quiesce_limit = 64;
+  /// Egress scheduling policy applied to every relay (kFifo = the legacy
+  /// shared queue, trajectory-identical when every flow rides VC 0).
+  switchdev::EgressPolicy egress_policy = switchdev::EgressPolicy::kFifo;
+  /// ECN-style early backpressure: a relay ingress VC whose occupancy
+  /// reaches this many slots marks the upstream hop's control flits, and
+  /// the upstream endpoint stops injecting NEW flits on that VC until the
+  /// occupancy drains to half the threshold (hysteresis). 0 = disabled.
+  /// Requires credit flow control (plan_dag rejects ECN with every hop
+  /// unbounded — the mark byte is only honoured on credited hops).
+  std::size_t ecn_threshold = 0;
+  /// Record per-flow end-to-end latency samples (source pull -> sink
+  /// delivery) into DagFlowReport::latency_samples. Off by default: the
+  /// samples cost memory proportional to delivered flits.
+  bool sample_latency = false;
 };
 
 /// The compiled routing plan: what plan_dag() validates and run_dag_fabric()
@@ -180,6 +212,13 @@ struct DagLinkStats {
   bool crosses_hub = false;
   link::EndpointStats a, b;  ///< endpoint counters at each side
   EndpointExtraStats a_extra, b_extra;
+  /// End-of-run per-VC credit ledger snapshots (all zero on hops without
+  /// credits): `*_vc_consumed[v]` is slots charged by that side's TX
+  /// window partition, `*_vc_returned[v]` slots freed by its RX ledger.
+  /// At quiescence each direction conserves PER PARTITION: a side's
+  /// consumed[v] equals its peer's returned[v].
+  std::array<std::uint64_t, link::kMaxVcs> a_vc_consumed{}, a_vc_returned{};
+  std::array<std::uint64_t, link::kMaxVcs> b_vc_consumed{}, b_vc_returned{};
   sim::ChannelStats forward_channel;
   /// Paired reverse data edge, or the implicit control wire.
   sim::ChannelStats reverse_channel;
@@ -194,6 +233,10 @@ struct DagFlowReport {
   /// True when the reroute controller switched this flow onto a backup
   /// path mid-run (its delivered stream then spans both paths).
   bool rerouted = false;
+  /// End-to-end latency per delivered payload (source pull -> sink
+  /// delivery), in delivery order. Populated only when
+  /// DagConfig::sample_latency is set.
+  std::vector<TimePs> latency_samples;
 };
 
 /// One reroute-controller episode: a hop death observed, reconciled, and
@@ -260,6 +303,13 @@ struct DagReport {
   [[nodiscard]] std::uint64_t max_ingress_occupancy() const;
   /// Peak egress store-and-forward queue depth across all relays.
   [[nodiscard]] std::uint64_t max_relay_queue_depth() const;
+  /// --- ECN early-backpressure aggregates (all zero with ECN off) ---
+  /// Relay-side hysteresis transitions: ingress VCs crossing the mark
+  /// threshold.
+  [[nodiscard]] std::uint64_t total_ecn_mark_events() const;
+  /// Endpoint-side injection stalls on a marked VC (throttled BEFORE the
+  /// credit window ran dry).
+  [[nodiscard]] std::uint64_t total_ecn_stalls() const;
   /// --- Fault/resilience aggregates (all zero with an empty FaultPlan) ---
   [[nodiscard]] std::uint64_t total_hops_declared_dead() const;
   [[nodiscard]] std::uint64_t total_dead_flits_drained() const;
@@ -285,6 +335,24 @@ struct DagScenarioSpec {
   TimePs horizon = 0;
   /// Per-hop bounded-buffer depth / credit window (0 = flow control off).
   std::size_t hop_credits = 0;
+  /// Relay egress scheduling policy (see DagConfig::egress_policy).
+  switchdev::EgressPolicy egress_policy = switchdev::EgressPolicy::kFifo;
+  /// ECN early-backpressure threshold (see DagConfig::ecn_threshold).
+  std::size_t ecn_threshold = 0;
+  /// Record per-flow latency samples (see DagConfig::sample_latency).
+  bool sample_latency = false;
+};
+
+/// Per-flow QoS class for the weighted congestion builders below: which VC
+/// the flow rides, its DRR weight, its pacing interval, and an optional
+/// flit-budget override (0 = the spec's flits_per_flow). When a builder
+/// takes a class list, flow i wears classes[i % classes.size()]; an empty
+/// list reproduces the unweighted builder exactly.
+struct DagFlowClass {
+  std::uint8_t vc = 0;
+  std::uint32_t weight = 1;
+  TimePs pace = 0;
+  std::uint64_t flits = 0;
 };
 
 /// Chain A -> R1 -> ... -> Rk -> B (k = `relays`, so k+1 hops), one flow.
@@ -313,12 +381,26 @@ struct DagScenarioSpec {
 [[nodiscard]] DagConfig make_incast_dag(const DagScenarioSpec& spec,
                                         std::size_t sources);
 
+/// Weighted incast: flow i wears classes[i % classes.size()] (VC, DRR
+/// weight, pacing, flit budget). One call builds an elephant/mice mix:
+/// e.g. {elephant, elephant, mouse} puts two greedy flows and one paced
+/// low-rate flow on their own VCs through the shared egress hop.
+[[nodiscard]] DagConfig make_incast_dag(const DagScenarioSpec& spec,
+                                        std::size_t sources,
+                                        std::span<const DagFlowClass> classes);
+
 /// Hotspot: `sources` terminals feed one relay; all but the last flow
 /// target the hot sink (sharing its egress hop) while the last rides to a
 /// private cold sink — backpressure must throttle the hot flows without
 /// starving the uncontended one.
 [[nodiscard]] DagConfig make_hotspot_dag(const DagScenarioSpec& spec,
                                          std::size_t sources);
+
+/// Weighted hotspot: per-flow classes as in the weighted incast builder
+/// (the last class lands on the cold flow).
+[[nodiscard]] DagConfig make_hotspot_dag(const DagScenarioSpec& spec,
+                                         std::size_t sources,
+                                         std::span<const DagFlowClass> classes);
 
 /// Diamond: `sources` terminals -> R0 -> {M_0 .. M_(branches-1)} -> R1 ->
 /// `sources` sinks. Every flow's primary path rides the lowest-id middle
@@ -338,6 +420,12 @@ struct DagScenarioSpec {
 /// study measures), then fans back out to private sinks.
 [[nodiscard]] DagConfig make_trunk_dag(const DagScenarioSpec& spec,
                                        std::size_t sources);
+
+/// Weighted trunk contention: per-flow classes as in the weighted incast
+/// builder, all squeezing through the single R1 -> R2 trunk hop.
+[[nodiscard]] DagConfig make_trunk_dag(const DagScenarioSpec& spec,
+                                       std::size_t sources,
+                                       std::span<const DagFlowClass> classes);
 
 /// The legacy star fabric expressed as a one-hub DAG: N terminal pairs
 /// around a single transparent hub, seeds drawn in the order the deleted

@@ -61,6 +61,9 @@ struct EndpointExtraStats {
   std::uint64_t credits_returned = 0; ///< RX buffer slots freed upstream
   std::uint64_t credit_adverts = 0;   ///< standalone credit-return flits
   std::uint64_t credit_probes = 0;    ///< stalled-TX re-advertise requests
+  /// --- ECN-style early backpressure (zero unless ecn_threshold > 0) ---
+  std::uint64_t ecn_marks_seen = 0;   ///< VC mark transitions observed at TX
+  std::uint64_t ecn_stalls = 0;       ///< TX throttle episodes (marked VCs)
   /// --- Failure detection (all zero unless fault injection is enabled) ---
   std::uint64_t hops_declared_dead = 0;  ///< retry budget exhausted (0 or 1)
   std::uint64_t dead_flits_drained = 0;  ///< entries handed to HopDownEvent
@@ -86,10 +89,21 @@ class Endpoint {
     std::vector<std::uint8_t> payload;
     std::uint64_t truth_index = 0;
     std::uint16_t flow_id = 0;
+    std::uint8_t vc = 0;  ///< virtual channel the flit travels (and bills) on
+  };
+  /// Result of one relay-source pull. When no item is returned the flags
+  /// say WHY, so the endpoint can distinguish an empty queue (go idle) from
+  /// a blocked one (record the stall and arm the probe that guarantees the
+  /// unblock signal cannot be lost).
+  struct RelayPull {
+    std::optional<TxItem> item;
+    bool credit_blocked = false;  ///< a queued VC's window partition is empty
+    bool ecn_blocked = false;     ///< queued VCs blocked only by ECN marks
   };
   /// Pull-model relay source (exclusive with SourceFn): return the next
-  /// queued TxItem, or nullopt when the store-and-forward queue is empty.
-  using RelaySourceFn = std::function<std::optional<TxItem>()>;
+  /// schedulable TxItem (the relay's egress scheduler picks the VC), or an
+  /// empty pull with the blocked flags set.
+  using RelaySourceFn = std::function<RelayPull()>;
 
   /// Raised at most once, when the TX exhausts its retry budget
   /// (ProtocolConfig::max_retry_episodes / dead_hop_timeout) and declares
@@ -117,6 +131,13 @@ class Endpoint {
   /// Flow identity stamped on flits originated through SourceFn (relay
   /// items carry their own). Simulation metadata, like dest_port.
   void set_flow_id(std::uint16_t flow_id) noexcept { flow_id_ = flow_id; }
+  /// Virtual channel for flits originated through SourceFn (relay items
+  /// carry their own). Must be < config.num_vcs.
+  void set_tx_vc(std::uint8_t vc) noexcept { tx_vc_ = vc; }
+  /// RX-side flow -> VC attribution for terminal auto credit return: a sink
+  /// receiving several flows frees the slot on the VC the flow rode in on.
+  /// Unmapped flows default to VC 0 (the single-channel behaviour).
+  void set_rx_flow_vc(std::uint16_t flow, std::uint8_t vc);
   void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
   void set_source(SourceFn source) { source_ = std::move(source); }
   /// Installs a relay source. Exclusive with set_source: an endpoint either
@@ -148,8 +169,22 @@ class Endpoint {
 
   /// Returns `n` receive-buffer credits to the upstream transmitter (no-op
   /// when the hop runs without flow control). Called by the bounded-buffer
-  /// owner when payloads leave the buffer.
+  /// owner when payloads leave the buffer. The no-VC form credits VC 0.
   void return_credits(std::size_t n);
+  void return_credits(std::uint8_t vc, std::size_t n);
+
+  /// True when a NEW data flit may be injected on `vc` right now: the VC's
+  /// window partition has a credit and the peer has not ECN-marked it.
+  /// Replays are exempt from both gates. The relay's egress scheduler polls
+  /// this to skip blocked VCs instead of head-of-line blocking on them.
+  [[nodiscard]] bool vc_send_ready(std::size_t vc) const noexcept;
+
+  /// Sets the absolute per-VC ECN mark bitmap this receive side carries on
+  /// every outbound control flit (the relay owns the occupancy thresholds).
+  /// A changed bitmap is pushed out promptly on a standalone advert so the
+  /// upstream transmitter throttles (or resumes) without waiting for the
+  /// next ACK.
+  void set_ecn_marks(std::uint8_t marks);
 
   /// Starts the transmit loop (idempotent; also used to re-kick after the
   /// source gains data).
@@ -181,7 +216,19 @@ class Endpoint {
     return retry_buffer_.size();
   }
   [[nodiscard]] std::size_t debug_credit_balance() const noexcept {
-    return credit_window_.balance();
+    return credit_windows_.vc(0).balance();
+  }
+  [[nodiscard]] std::size_t debug_vc_credit_balance(std::size_t vc) const {
+    return credit_windows_.vc(vc).balance();
+  }
+  /// Per-VC transmit windows / return ledgers, for the conservation
+  /// invariants (consumed == returned per VC) asserted by tests.
+  [[nodiscard]] const link::VcCreditWindows& credit_windows() const noexcept {
+    return credit_windows_;
+  }
+  [[nodiscard]] const link::VcCreditReturnLedgers& credit_ledgers()
+      const noexcept {
+    return credit_returns_;
   }
   /// Selective repeat only: reorder-buffer statistics (§5 sizing).
   [[nodiscard]] const link::ReorderBuffer* reorder_buffer() const noexcept {
@@ -192,7 +239,10 @@ class Endpoint {
   // TX path.
   bool send_one();
   void send_data_flit(std::span<const std::uint8_t> payload,
-                      std::uint64_t truth_index, std::uint16_t flow_id);
+                      std::uint64_t truth_index, std::uint16_t flow_id,
+                      std::uint8_t vc);
+  void note_credit_stall();
+  void note_ecn_stall();
   void replay_step();
   void enqueue_control(flit::ReplayCmd command, std::uint16_t fsn);
   void begin_replay_from(std::uint16_t seq);
@@ -206,7 +256,9 @@ class Endpoint {
   void flush_credit_returns();
   void on_credit_timer();
   void on_credit_probe_timer();
-  void process_credit_word(std::uint16_t credit_word);
+  void process_vc_credit_word(std::size_t vc, std::uint16_t credit_word);
+  void process_ecn_marks(std::uint8_t marks);
+  [[nodiscard]] std::uint8_t rx_vc_for_flow(std::uint16_t flow) const noexcept;
 
   // Failure detection (fault injection).
   [[nodiscard]] bool hop_death_due() const noexcept;
@@ -222,7 +274,7 @@ class Endpoint {
   void arm_nack_timer();
   void on_nack_timer();
   void deliver(const sim::FlitEnvelope& envelope);
-  void after_delivery();
+  void after_delivery(std::uint16_t flow_id);
 
   sim::EventQueue& queue_;
   ProtocolConfig config_;
@@ -244,8 +296,11 @@ class Endpoint {
   bool kick_scheduled_ = false;
   sim::Timer retry_timer_;
   TimePs last_ack_progress_ = 0;
-  link::CreditWindow credit_window_;
+  std::uint8_t tx_vc_ = 0;  ///< VC for SourceFn-originated flits
+  link::VcCreditWindows credit_windows_;
   bool credit_stalled_ = false;  ///< TX wanted a new flit, window was empty
+  bool ecn_stalled_ = false;     ///< TX blocked only by an ECN mark
+  std::uint8_t ecn_remote_marks_ = 0;  ///< peer's mark bitmap, absolute
   sim::Timer credit_probe_timer_;
   // Failure detection state. A "silent episode" is a retry or credit-probe
   // timeout that fired while the peer had sent NOTHING for a full
@@ -269,8 +324,12 @@ class Endpoint {
   /// threshold the expected flit is declared unrecoverable (see
   /// forward_resyncs above).
   unsigned episode_ahead_discards_ = 0;
-  link::CreditReturnLedger credit_return_;
+  link::VcCreditReturnLedgers credit_returns_;
   bool deferred_credit_return_ = false;
+  std::uint8_t ecn_local_marks_ = 0;  ///< bitmap stamped on control flits
+  /// Flow -> VC attribution for terminal auto returns (few flows per sink;
+  /// linear scan keeps iteration deterministic).
+  std::vector<std::pair<std::uint16_t, std::uint8_t>> rx_flow_vcs_;
   sim::Timer credit_timer_;
   /// Allocated only in kSelectiveRepeat mode (CXL only).
   std::optional<link::ReorderBuffer> reorder_buffer_;

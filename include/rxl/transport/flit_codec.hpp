@@ -14,6 +14,7 @@
 // 250 bytes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -38,6 +39,28 @@ inline constexpr std::uint16_t kCreditProbeFsn = 1;   ///< "re-advertise" ask
 /// it. Hops without flow control always stamp zero, which keeps the wire
 /// image byte-identical to the pre-credit encoding.
 [[nodiscard]] std::uint16_t control_credit_word(const flit::Flit& flit) noexcept;
+
+/// Per-virtual-channel credit words extend the same scheme: VC v's
+/// cumulative freed-slot count lives at payload bytes [2v, 2v+2), so VC 0
+/// aliases the legacy credit word exactly and single-VC hops stay
+/// byte-identical on the wire. All words sit inside the CRC-covered region.
+[[nodiscard]] std::uint16_t control_vc_credit_word(const flit::Flit& flit,
+                                                  std::size_t vc) noexcept;
+
+/// ECN-style early-backpressure marks: one bit per VC (bit v == VC v is
+/// congested downstream), carried ABSOLUTE on every control flit at payload
+/// byte 16 — like the cumulative credit counts, a lost mark or clear heals
+/// on the next control flit because the full bitmap is re-carried. Hops
+/// without marking always stamp zero (legacy wire image).
+inline constexpr std::size_t kEcnMarksOffset = 16;
+[[nodiscard]] std::uint8_t control_ecn_marks(const flit::Flit& flit) noexcept;
+
+/// Credit/ECN state stamped onto every outbound control flit of a hop with
+/// flow control enabled: one cumulative word per VC plus the ECN bitmap.
+struct ControlCreditStamp {
+  std::span<const std::uint16_t> vc_words;  ///< cumulative counts, VC 0 first
+  std::uint8_t ecn_marks = 0;               ///< absolute per-VC mark bitmap
+};
 
 /// Result of an endpoint receive-side check.
 struct RxCheck {
@@ -72,6 +95,13 @@ class FlitCodec {
   [[nodiscard]] flit::Flit encode_control(flit::ReplayCmd command,
                                           std::uint16_t fsn,
                                           std::uint16_t credit_word = 0) const;
+
+  /// Multi-VC form: stamps one cumulative credit word per VC (VC 0 at the
+  /// legacy offset) plus the absolute ECN mark bitmap. With one VC and no
+  /// marks this encodes byte-identically to the single-word overload.
+  [[nodiscard]] flit::Flit encode_control(flit::ReplayCmd command,
+                                          std::uint16_t fsn,
+                                          const ControlCreditStamp& stamp) const;
 
   /// Endpoint receive check for a data flit whose FEC stage already passed.
   /// @param expected_seq the receiver's ESeqNum (used only by RXL's ISN

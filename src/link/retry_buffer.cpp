@@ -18,11 +18,12 @@ std::optional<std::uint16_t> RetryBuffer::oldest_seq() const noexcept {
 }
 
 bool RetryBuffer::push(std::uint16_t seq, const flit::Flit& encoded,
-                       std::uint64_t user_tag, std::uint16_t flow_tag) {
+                       std::uint64_t user_tag, std::uint16_t flow_tag,
+                       std::uint8_t vc) {
   if (full()) return false;
   assert(entries_.empty() || seq_next(entries_.back().seq) == (seq & kSeqMask));
   entries_.push_back(Entry{static_cast<std::uint16_t>(seq & kSeqMask), flow_tag,
-                           user_tag, encoded});
+                           vc, user_tag, encoded});
   return true;
 }
 

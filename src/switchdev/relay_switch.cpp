@@ -28,21 +28,89 @@ std::size_t RelaySwitch::add_port(const transport::ProtocolConfig& config) {
                                      const sim::FlitEnvelope& envelope) {
     on_delivered(index, payload, envelope);
   });
-  endpoint.set_relay_source(
-      [this, index]() -> std::optional<transport::Endpoint::TxItem> {
-        Port& port = ports_[index];
-        if (port.pending.empty()) return std::nullopt;
-        Pending pending = port.pending.pop_front();
-        port.stats.relayed_out += 1;
-        if (pending.ingress != kNoIngress) {
-          Port& in_port = ports_[pending.ingress];
-          assert(in_port.in_queue > 0);
-          in_port.in_queue -= 1;
-          in_port.endpoint->return_credits(1);
-        }
-        return std::move(pending.item);
-      });
+  endpoint.set_relay_source([this, index]() { return pull_next(index); });
   return index;
+}
+
+std::uint8_t RelaySwitch::vc_of(std::uint16_t flow_id) const noexcept {
+  return flow_id < flow_vcs_.size() ? flow_vcs_[flow_id] : std::uint8_t{0};
+}
+
+std::size_t RelaySwitch::total_pending(const Port& port) noexcept {
+  std::size_t total = 0;
+  for (const RingQueue<Pending>& queue : port.queues) total += queue.size();
+  return total;
+}
+
+void RelaySwitch::update_ecn(Port& in_port, std::size_t vc) {
+  const std::size_t threshold = in_port.endpoint->config().ecn_threshold;
+  if (threshold == 0) return;
+  const std::size_t occupancy = in_port.in_queue_by_vc[vc];
+  const auto bit = static_cast<std::uint8_t>(1u << vc);
+  const bool marked = (in_port.ecn_marks & bit) != 0;
+  // Hysteresis: mark at >= threshold, clear only once drained to half, so
+  // an occupancy oscillating around the threshold does not flap the mark
+  // (and its standalone adverts) on every flit.
+  if (!marked && occupancy >= threshold) {
+    in_port.ecn_marks = static_cast<std::uint8_t>(in_port.ecn_marks | bit);
+    in_port.stats.ecn_mark_events += 1;
+  } else if (marked && occupancy <= threshold / 2) {
+    in_port.ecn_marks = static_cast<std::uint8_t>(in_port.ecn_marks & ~bit);
+    in_port.stats.ecn_clear_events += 1;
+  } else {
+    return;
+  }
+  in_port.endpoint->set_ecn_marks(in_port.ecn_marks);
+}
+
+/// Dequeue-side bookkeeping shared by the scheduler pull: the payload
+/// leaves the bounded buffer, so the ingress slot frees and its credit
+/// returns upstream on the VC that billed it.
+void RelaySwitch::account_dequeue(Pending& pending) {
+  if (pending.ingress == kNoIngress) return;
+  Port& in_port = ports_[pending.ingress];
+  const std::uint8_t vc = pending.item.vc;
+  assert(in_port.in_queue > 0 && in_port.in_queue_by_vc[vc] > 0);
+  in_port.in_queue -= 1;
+  in_port.in_queue_by_vc[vc] -= 1;
+  update_ecn(in_port, vc);
+  in_port.endpoint->return_credits(vc, 1);
+}
+
+transport::Endpoint::RelayPull RelaySwitch::pull_next(std::size_t egress) {
+  Port& port = ports_[egress];
+  transport::Endpoint::RelayPull pull;
+  const transport::Endpoint& endpoint = *port.endpoint;
+  if (scheduler_.policy() == EgressPolicy::kFifo) {
+    // Shared queue: the head decides, and a blocked head blocks everything
+    // behind it — the HOL behaviour the VC policies exist to fix.
+    if (port.queues[0].empty()) return pull;
+    const std::uint8_t vc = port.queues[0].front().item.vc;
+    if (!endpoint.credit_windows().vc(vc).available()) {
+      pull.credit_blocked = true;
+      return pull;
+    }
+    if (!endpoint.vc_send_ready(vc)) {
+      pull.ecn_blocked = true;
+      return pull;
+    }
+    Pending pending = port.queues[0].pop_front();
+    port.stats.relayed_out += 1;
+    account_dequeue(pending);
+    pull.item = std::move(pending.item);
+    return pull;
+  }
+  const std::optional<std::size_t> vc = scheduler_.pick(
+      port.drr, [&](std::size_t v) { return port.queues[v].empty(); },
+      [&](std::size_t v) { return endpoint.credit_windows().vc(v).available(); },
+      [&](std::size_t v) { return endpoint.vc_send_ready(v); },
+      &pull.credit_blocked, &pull.ecn_blocked);
+  if (!vc.has_value()) return pull;
+  Pending pending = port.queues[*vc].pop_front();
+  port.stats.relayed_out += 1;
+  account_dequeue(pending);
+  pull.item = std::move(pending.item);
+  return pull;
 }
 
 void RelaySwitch::set_route(std::uint16_t flow_id, std::size_t egress_port) {
@@ -51,16 +119,28 @@ void RelaySwitch::set_route(std::uint16_t flow_id, std::size_t egress_port) {
   routes_[flow_id] = static_cast<std::uint32_t>(egress_port);
 }
 
+void RelaySwitch::set_flow_vc(std::uint16_t flow_id, std::uint8_t vc) {
+  assert(vc < link::kMaxVcs);
+  if (flow_vcs_.size() <= flow_id) flow_vcs_.resize(flow_id + 1u, 0);
+  flow_vcs_[flow_id] = vc;
+}
+
 void RelaySwitch::inject(std::size_t egress_port,
                          transport::Endpoint::TxItem item) {
   assert(egress_port < ports_.size());
   Port& out_port = ports_[egress_port];
   Pending pending;
   pending.item = std::move(item);
+  // Re-derive the VC from the flow table: it is a flow property that
+  // survives reroutes, whatever hop the drained flit was charged on.
+  pending.item.vc = vc_of(pending.item.flow_id);
   pending.ingress = kNoIngress;
-  out_port.pending.push_back(std::move(pending));
-  if (out_port.pending.size() > out_port.stats.max_queue_depth)
-    out_port.stats.max_queue_depth = out_port.pending.size();
+  const std::size_t queue_index =
+      scheduler_.policy() == EgressPolicy::kFifo ? 0 : pending.item.vc;
+  out_port.queues[queue_index].push_back(std::move(pending));
+  const std::size_t depth = total_pending(out_port);
+  if (depth > out_port.stats.max_queue_depth)
+    out_port.stats.max_queue_depth = depth;
   out_port.endpoint->kick();
 }
 
@@ -71,30 +151,35 @@ std::size_t RelaySwitch::migrate_pending(std::size_t from_port,
   if (from_port == to_port) return 0;
   Port& from = ports_[from_port];
   Port& to = ports_[to_port];
-  // Drain the source queue completely, splitting by flow: both the stayers
-  // and the movers re-enter their queues in the order they were parked, so
-  // per-flow FIFO order survives the switchover.
-  const std::size_t parked = from.pending.size();
+  // Drain each source queue completely, splitting by flow: both the
+  // stayers and the movers re-enter their queues in the order they were
+  // parked. A flow lives in exactly one queue (its VC's, or the shared
+  // FIFO), so per-flow FIFO order survives the switchover.
   std::size_t moved = 0;
-  for (std::size_t i = 0; i < parked; ++i) {
-    Pending pending = from.pending.pop_front();
-    if (pending.item.flow_id == flow_id) {
-      to.pending.push_back(std::move(pending));
-      moved += 1;
-    } else {
-      from.pending.push_back(std::move(pending));
+  for (std::size_t q = 0; q < from.queues.size(); ++q) {
+    const std::size_t parked = from.queues[q].size();
+    for (std::size_t i = 0; i < parked; ++i) {
+      Pending pending = from.queues[q].pop_front();
+      if (pending.item.flow_id == flow_id) {
+        to.queues[q].push_back(std::move(pending));
+        moved += 1;
+      } else {
+        from.queues[q].push_back(std::move(pending));
+      }
     }
   }
-  if (to.pending.size() > to.stats.max_queue_depth)
-    to.stats.max_queue_depth = to.pending.size();
+  const std::size_t depth = total_pending(to);
+  if (depth > to.stats.max_queue_depth) to.stats.max_queue_depth = depth;
   if (moved > 0) to.endpoint->kick();
   return moved;
 }
 
 bool RelaySwitch::has_flow_queued(std::uint16_t flow_id) const {
   for (const Port& port : ports_) {
-    for (std::size_t i = 0; i < port.pending.size(); ++i) {
-      if (port.pending.at(i).item.flow_id == flow_id) return true;
+    for (const RingQueue<Pending>& queue : port.queues) {
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue.at(i).item.flow_id == flow_id) return true;
+      }
     }
   }
   return false;
@@ -102,7 +187,7 @@ bool RelaySwitch::has_flow_queued(std::uint16_t flow_id) const {
 
 RelayPortStats RelaySwitch::port_stats(std::size_t i) const {
   RelayPortStats stats = ports_[i].stats;
-  stats.queue_occupancy = ports_[i].pending.size();
+  stats.queue_occupancy = total_pending(ports_[i]);
   stats.credit_stalls = ports_[i].endpoint->extra_stats().credit_stalls;
   return stats;
 }
@@ -114,12 +199,13 @@ void RelaySwitch::on_delivered(std::size_t ingress,
   in_port.stats.relayed_in += 1;
   const std::uint32_t egress =
       envelope.flow_id < routes_.size() ? routes_[envelope.flow_id] : kNoRoute;
+  const std::uint8_t vc = vc_of(envelope.flow_id);
   if (egress == kNoRoute) {
     in_port.stats.dropped_no_route += 1;
     // The drop vacates the buffer slot the upstream transmitter charged
     // for this payload; return the credit or the hop would leak its
     // window one misroute at a time.
-    in_port.endpoint->return_credits(1);
+    in_port.endpoint->return_credits(vc, 1);
     return;
   }
   Port& out_port = ports_[egress];
@@ -127,17 +213,26 @@ void RelaySwitch::on_delivered(std::size_t ingress,
   pending.item.payload.assign(payload.begin(), payload.end());
   pending.item.truth_index = envelope.truth_index;
   pending.item.flow_id = envelope.flow_id;
+  pending.item.vc = vc;
   pending.ingress = static_cast<std::uint32_t>(ingress);
-  out_port.pending.push_back(std::move(pending));
-  if (out_port.pending.size() > out_port.stats.max_queue_depth)
-    out_port.stats.max_queue_depth = out_port.pending.size();
+  const std::size_t queue_index =
+      scheduler_.policy() == EgressPolicy::kFifo ? 0 : vc;
+  out_port.queues[queue_index].push_back(std::move(pending));
+  const std::size_t depth = total_pending(out_port);
+  if (depth > out_port.stats.max_queue_depth)
+    out_port.stats.max_queue_depth = depth;
   in_port.in_queue += 1;
+  in_port.in_queue_by_vc[vc] += 1;
   if (in_port.in_queue > in_port.stats.ingress_high_water)
     in_port.stats.ingress_high_water = in_port.in_queue;
-  // With credit flow control on the ingress hop, the upstream window makes
-  // overflow impossible: occupancy can never exceed the advertised depth.
+  if (in_port.in_queue_by_vc[vc] > in_port.stats.vc_ingress_high_water[vc])
+    in_port.stats.vc_ingress_high_water[vc] = in_port.in_queue_by_vc[vc];
+  // With credit flow control on the ingress hop, the upstream PER-VC window
+  // makes overflow impossible: each VC partition's occupancy can never
+  // exceed the advertised depth.
   assert(in_port.endpoint->config().rx_credits == 0 ||
-         in_port.in_queue <= in_port.endpoint->config().rx_credits);
+         in_port.in_queue_by_vc[vc] <= in_port.endpoint->config().rx_credits);
+  update_ecn(in_port, vc);
   out_port.endpoint->kick();
 }
 

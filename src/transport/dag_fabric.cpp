@@ -1,6 +1,7 @@
 #include "rxl/transport/dag_fabric.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -264,6 +265,14 @@ DagPlan plan_dag(const DagConfig& config) {
       invalid(std::move(message));
     }
     origin_flow[flow.src] = static_cast<std::int32_t>(f);
+    if (flow.vc >= link::kMaxVcs) {
+      std::string message = "flow ";
+      message += std::to_string(f);
+      message += " rides VC ";
+      message += std::to_string(flow.vc);
+      message += ", beyond link::kMaxVcs";
+      invalid(std::move(message));
+    }
 
     std::vector<std::int32_t> parent_edge(n, -1);
     std::vector<std::uint8_t> visited(n, 0);
@@ -297,6 +306,38 @@ DagPlan plan_dag(const DagConfig& config) {
     }
     std::reverse(path.begin(), path.end());
   }
+
+  // QoS sanity. Relays schedule VCs, not flows, so every flow sharing a VC
+  // must declare the same DRR weight — a mismatch would silently pick one.
+  {
+    std::array<std::int64_t, link::kMaxVcs> vc_weight;
+    vc_weight.fill(-1);
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const DagFlow& flow = config.flows[f];
+      if (vc_weight[flow.vc] < 0) {
+        vc_weight[flow.vc] = static_cast<std::int64_t>(flow.weight);
+      } else if (vc_weight[flow.vc] != static_cast<std::int64_t>(flow.weight)) {
+        std::string message = "flow ";
+        message += std::to_string(f);
+        message += " declares weight ";
+        message += std::to_string(flow.weight);
+        message += " for VC ";
+        message += std::to_string(flow.vc);
+        message += ", but an earlier flow on the same VC declared ";
+        message += std::to_string(vc_weight[flow.vc]);
+        invalid(std::move(message));
+      }
+    }
+  }
+  // ECN marks ride on the credit machinery (they throttle a VC BEFORE its
+  // window exhausts, and endpoints ignore the mark byte with credits off),
+  // so a threshold with every hop unbounded could never fire.
+  if (config.ecn_threshold > 0 && config.hop_credits == 0 &&
+      std::none_of(config.edges.begin(), config.edges.end(),
+                   [](const DagEdge& edge) { return edge.credits.has_value(); }))
+    invalid(
+        "ecn_threshold set with credit flow control off everywhere; ECN "
+        "early backpressure needs hop_credits or per-edge credits");
 
   // Segment extraction: split each path at terminating nodes. The hub
   // adjacency check above guarantees a run between terminations is one
@@ -718,8 +759,17 @@ DagReport run_dag_fabric(const DagConfig& config) {
 
   // Per-hop domains. Unpaired domains carry acknowledgments standalone on
   // the implicit reverse control wire (there is no reverse data to
-  // piggyback on); paired domains keep the configured policy.
-  ProtocolConfig unpaired_protocol = config.protocol;
+  // piggyback on); paired domains keep the configured policy. Every hop is
+  // provisioned with exactly the VCs the flows demand (1 + the largest VC
+  // in use — one VC when every flow rides VC 0, the legacy wire image) and
+  // the fabric-wide ECN threshold.
+  ProtocolConfig hop_protocol = config.protocol;
+  hop_protocol.num_vcs = 1;
+  for (const DagFlow& flow : config.flows)
+    hop_protocol.num_vcs =
+        std::max<std::size_t>(hop_protocol.num_vcs, flow.vc + 1u);
+  hop_protocol.ecn_threshold = config.ecn_threshold;
+  ProtocolConfig unpaired_protocol = hop_protocol;
   unpaired_protocol.ack_policy = link::AckPolicy::kStandalone;
 
   std::vector<std::unique_ptr<Endpoint>> terminal_endpoints;
@@ -778,7 +828,7 @@ DagReport run_dag_fabric(const DagConfig& config) {
       rep_of[*segment.mate] = static_cast<std::uint32_t>(si);
     }
     const ProtocolConfig& protocol =
-        paired ? config.protocol : unpaired_protocol;
+        paired ? hop_protocol : unpaired_protocol;
     // Credit flow control per domain direction: the window for data flowing
     // toward a termination equals the bounded-buffer depth configured on
     // the edge entering it (the relay's store-and-forward slots, or the
@@ -877,7 +927,20 @@ DagReport run_dag_fabric(const DagConfig& config) {
     domains.push_back(domain);
   }
 
-  // Relay flow tables.
+  // Relay flow tables + QoS plumbing: every relay learns each flow's VC
+  // (flow ids are fabric-global, and an ingress relay accounts by VC even
+  // when only the egress relay routes the flow), the scheduling policy, and
+  // the per-VC DRR weights (plan_dag proved flows sharing a VC agree).
+  for (std::size_t v = 0; v < node_count; ++v) {
+    if (relays[v] == nullptr) continue;
+    relays[v]->set_egress_policy(config.egress_policy);
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const DagFlow& flow = config.flows[f];
+      if (flow.vc != 0)
+        relays[v]->set_flow_vc(static_cast<std::uint16_t>(f), flow.vc);
+      relays[v]->set_vc_weight(flow.vc, flow.weight);
+    }
+  }
   for (std::size_t f = 0; f < config.flows.size(); ++f) {
     for (const std::uint32_t si : plan.flow_segments[f]) {
       const DagPlan::Segment& segment = plan.segments[si];
@@ -949,9 +1012,19 @@ DagReport run_dag_fabric(const DagConfig& config) {
     }
   }
 
-  // Flow sources and sinks.
+  // Flow sources and sinks. Per-flow runtime state for pacing (one armed
+  // wake-up per paced flow) and latency sampling (source-pull timestamps
+  // the sink subtracts at delivery); the vectors are sized once, so the
+  // lambdas' element pointers stay stable for the whole run.
+  struct FlowRuntime {
+    std::vector<TimePs> inject_at;
+    std::vector<TimePs> samples;
+    bool pace_armed = false;
+  };
   std::vector<txn::StreamScoreboard> boards(config.flows.size());
   std::vector<std::uint64_t> offered(config.flows.size(), 0);
+  std::vector<FlowRuntime> flow_runtime(config.flows.size());
+  const bool sample = config.sample_latency;
   std::uint64_t misrouted = 0;
   for (const auto& [key, endpoint] : terminal_of) {
     const std::uint16_t node = key.first;
@@ -959,12 +1032,21 @@ DagReport run_dag_fabric(const DagConfig& config) {
     const DagFlow* const flow_base = config.flows.data();
     const std::size_t flow_count = config.flows.size();
     std::uint64_t* const misrouted_ptr = &misrouted;
+    FlowRuntime* const runtime_base = flow_runtime.data();
+    sim::EventQueue* const queue_ptr = &queue;
     endpoint->set_deliver([board_base, flow_base, flow_count, misrouted_ptr,
-                           node](std::span<const std::uint8_t> payload,
-                                 const sim::FlitEnvelope& envelope) {
+                           node, runtime_base, queue_ptr,
+                           sample](std::span<const std::uint8_t> payload,
+                                   const sim::FlitEnvelope& envelope) {
       if (envelope.has_truth && envelope.flow_id < flow_count &&
           flow_base[envelope.flow_id].dst == node) {
         board_base[envelope.flow_id].on_deliver(payload, envelope);
+        if (sample) {
+          FlowRuntime& runtime = runtime_base[envelope.flow_id];
+          if (envelope.truth_index < runtime.inject_at.size())
+            runtime.samples.push_back(
+                queue_ptr->now() - runtime.inject_at[envelope.truth_index]);
+        }
       } else {
         *misrouted_ptr += 1;
       }
@@ -977,13 +1059,43 @@ DagReport run_dag_fabric(const DagConfig& config) {
     Endpoint* const source = terminal_of.at({flow.src, rep_of[first]});
     flow_sources[f] = source;
     source->set_flow_id(static_cast<std::uint16_t>(f));
+    if (flow.vc != 0) {
+      source->set_tx_vc(flow.vc);
+      const std::uint32_t last = plan.flow_segments[f].back();
+      terminal_of.at({flow.dst, rep_of[last]})
+          ->set_rx_flow_vc(static_cast<std::uint16_t>(f), flow.vc);
+    }
     txn::StreamScoreboard* const board = &boards[f];
     std::uint64_t* const offered_ptr = &offered[f];
     const std::uint64_t budget = flow.flits;
     const std::uint64_t salt = flow.salt;
-    source->set_source([board, offered_ptr, budget, salt](std::uint64_t index)
+    FlowRuntime* const runtime = &flow_runtime[f];
+    if (sample) runtime->inject_at.resize(flow.flits, 0);
+    const TimePs pace = flow.pace;
+    sim::EventQueue* const queue_ptr = &queue;
+    source->set_source([board, offered_ptr, budget, salt, runtime, pace,
+                        sample, queue_ptr, source](std::uint64_t index)
                            -> std::optional<std::vector<std::uint8_t>> {
       if (index >= budget) return std::nullopt;
+      if (pace > 0) {
+        // Paced source: index i is offered no earlier than i * pace. A
+        // premature pull arms one wake-up kick at the due instant, so the
+        // flow needs no external traffic to resume (and arms at most one
+        // timer however often the endpoint polls meanwhile).
+        const TimePs due = static_cast<TimePs>(index) * pace;
+        const TimePs now = queue_ptr->now();
+        if (now < due) {
+          if (!runtime->pace_armed) {
+            runtime->pace_armed = true;
+            queue_ptr->schedule(due - now, [runtime, source] {
+              runtime->pace_armed = false;
+              source->kick();
+            });
+          }
+          return std::nullopt;
+        }
+      }
+      if (sample) runtime->inject_at[index] = queue_ptr->now();
       std::vector<std::uint8_t> payload = make_stream_payload(index, salt);
       board->register_sent(index, payload);
       *offered_ptr = index + 1;
@@ -1010,6 +1122,7 @@ DagReport run_dag_fabric(const DagConfig& config) {
     flow_report.path_edges = plan.flow_paths[f];
     flow_report.rerouted =
         controller != nullptr && controller->flow_rerouted(f);
+    flow_report.latency_samples = std::move(flow_runtime[f].samples);
   }
   if (controller != nullptr) report.reroutes = controller->reports();
   for (const Domain& domain : domains) {
@@ -1025,6 +1138,12 @@ DagReport run_dag_fabric(const DagConfig& config) {
     hop.b = domain.b->stats();
     hop.a_extra = domain.a->extra_stats();
     hop.b_extra = domain.b->extra_stats();
+    for (std::size_t v = 0; v < domain.a->credit_windows().num_vcs(); ++v) {
+      hop.a_vc_consumed[v] = domain.a->credit_windows().vc(v).consumed();
+      hop.b_vc_consumed[v] = domain.b->credit_windows().vc(v).consumed();
+      hop.a_vc_returned[v] = domain.a->credit_ledgers().vc(v).returned();
+      hop.b_vc_returned[v] = domain.b->credit_ledgers().vc(v).returned();
+    }
     hop.forward_channel = domain.forward->stats();
     hop.reverse_channel = domain.reverse->stats();
     report.hops.push_back(hop);
@@ -1142,6 +1261,21 @@ std::uint64_t DagReport::max_relay_queue_depth() const {
   return highest;
 }
 
+std::uint64_t DagReport::total_ecn_mark_events() const {
+  std::uint64_t total = 0;
+  for (const DagRelayReport& relay : relays)
+    for (const DagRelayPort& port : relay.ports)
+      total += port.stats.ecn_mark_events;
+  return total;
+}
+
+std::uint64_t DagReport::total_ecn_stalls() const {
+  std::uint64_t total = 0;
+  for (const DagLinkStats& hop : hops)
+    total += hop.a_extra.ecn_stalls + hop.b_extra.ecn_stalls;
+  return total;
+}
+
 std::uint64_t DagReport::total_hops_declared_dead() const {
   std::uint64_t total = 0;
   for (const DagLinkStats& hop : hops)
@@ -1197,7 +1331,25 @@ DagConfig base_scenario_config(const DagScenarioSpec& spec) {
   config.seed = spec.seed;
   config.horizon = spec.horizon;
   config.hop_credits = spec.hop_credits;
+  config.egress_policy = spec.egress_policy;
+  config.ecn_threshold = spec.ecn_threshold;
+  config.sample_latency = spec.sample_latency;
   return config;
+}
+
+/// Applies per-flow QoS classes cyclically (flow i wears class i mod n);
+/// an empty list leaves the unweighted builder output untouched.
+void apply_flow_classes(DagConfig& config,
+                        std::span<const DagFlowClass> classes) {
+  if (classes.empty()) return;
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const DagFlowClass& klass = classes[f % classes.size()];
+    DagFlow& flow = config.flows[f];
+    flow.vc = klass.vc;
+    flow.weight = klass.weight;
+    flow.pace = klass.pace;
+    if (klass.flits > 0) flow.flits = klass.flits;
+  }
 }
 
 DagEdge scenario_edge(const DagScenarioSpec& spec, std::uint16_t src,
@@ -1350,9 +1502,21 @@ DagConfig make_incast_dag(const DagScenarioSpec& spec, std::size_t sources) {
     config.edges.push_back(
         scenario_edge(spec, static_cast<std::uint16_t>(i), relay));
   config.edges.push_back(scenario_edge(spec, relay, sink));
-  for (std::size_t i = 0; i < sources; ++i)
-    config.flows.push_back(DagFlow{static_cast<std::uint16_t>(i), sink,
-                                   spec.flits_per_flow, 0x1CA0 + i});
+  for (std::size_t i = 0; i < sources; ++i) {
+    DagFlow flow;
+    flow.src = static_cast<std::uint16_t>(i);
+    flow.dst = sink;
+    flow.flits = spec.flits_per_flow;
+    flow.salt = 0x1CA0 + i;
+    config.flows.push_back(flow);
+  }
+  return config;
+}
+
+DagConfig make_incast_dag(const DagScenarioSpec& spec, std::size_t sources,
+                          std::span<const DagFlowClass> classes) {
+  DagConfig config = make_incast_dag(spec, sources);
+  apply_flow_classes(config, classes);
   return config;
 }
 
@@ -1384,6 +1548,13 @@ DagConfig make_hotspot_dag(const DagScenarioSpec& spec, std::size_t sources) {
                                    spec.flits_per_flow, 0x407u + i});
   config.flows.push_back(DagFlow{static_cast<std::uint16_t>(sources - 1),
                                  cold, spec.flits_per_flow, 0xC07D});
+  return config;
+}
+
+DagConfig make_hotspot_dag(const DagScenarioSpec& spec, std::size_t sources,
+                           std::span<const DagFlowClass> classes) {
+  DagConfig config = make_hotspot_dag(spec, sources);
+  apply_flow_classes(config, classes);
   return config;
 }
 
@@ -1468,6 +1639,13 @@ DagConfig make_trunk_dag(const DagScenarioSpec& spec, std::size_t sources) {
         DagFlow{static_cast<std::uint16_t>(i),
                 static_cast<std::uint16_t>(sources + 2 + i),
                 spec.flits_per_flow, 0x7A00u + i});
+  return config;
+}
+
+DagConfig make_trunk_dag(const DagScenarioSpec& spec, std::size_t sources,
+                         std::span<const DagFlowClass> classes) {
+  DagConfig config = make_trunk_dag(spec, sources);
+  apply_flow_classes(config, classes);
   return config;
 }
 

@@ -1,6 +1,8 @@
 #include "rxl/transport/endpoint.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -24,14 +26,18 @@ Endpoint::Endpoint(sim::EventQueue& queue, const ProtocolConfig& config,
       codec_(config.protocol),
       retry_buffer_(config.retry_buffer_capacity),
       retry_timer_(queue, [this] { on_retry_timer(); }),
-      credit_window_(config.tx_credits),
+      credit_windows_(config.tx_credits, config.num_vcs),
       credit_probe_timer_(queue, [this] { on_credit_probe_timer(); }),
       last_verified_(kSeqMask),  // "-1": nothing verified yet
       ack_scheduler_(config.coalesce_factor),
       ack_timer_(queue, [this] { on_ack_timer(); }),
       nack_timer_(queue, [this] { on_nack_timer(); }),
-      credit_return_(config.rx_credits > 0),
+      credit_returns_(config.rx_credits > 0, config.num_vcs),
       credit_timer_(queue, [this] { on_credit_timer(); }) {
+  if (config_.num_vcs == 0 || config_.num_vcs > link::kMaxVcs)
+    throw std::invalid_argument(
+        "num_vcs must be in [1, 8]: each VC's credit word occupies two "
+        "CRC-covered control-flit payload bytes");
   if (config_.retry_mode == RetryMode::kSelectiveRepeat) {
     // §5: selective repeat needs explicit sequence numbers to place
     // out-of-order flits; ISN's pass/fail check cannot. This is the
@@ -136,36 +142,71 @@ bool Endpoint::send_one() {
       stats_.tx_stalls += 1;
       return false;
     }
-    if (!credit_window_.available()) {
-      // The downstream buffer is full as far as this window knows: only a
-      // credit return may unblock new data. Replays above are exempt — a
-      // replayed flit's slot was charged at first transmission. The probe
-      // timer recovers the hop if the peer's final return was corrupted.
-      if (!credit_stalled_) {
-        extra_.credit_stalls += 1;
-        credit_stalled_ = true;
-        if (config_.retry_timeout > 0)
-          credit_probe_timer_.arm(config_.retry_timeout);
-      }
+    if (!credit_windows_.any_available()) {
+      // Every VC's downstream partition is full as far as the windows
+      // know: only a credit return may unblock new data. Replays above are
+      // exempt — a replayed flit's slot was charged at first transmission.
+      // The probe timer recovers the hop if the peer's final return was
+      // corrupted.
+      note_credit_stall();
       return false;
     }
     if (relay_source_) {
-      if (auto item = relay_source_()) {
-        send_data_flit(item->payload, item->truth_index, item->flow_id);
+      RelayPull pull = relay_source_();
+      if (pull.item.has_value()) {
+        send_data_flit(pull.item->payload, pull.item->truth_index,
+                       pull.item->flow_id, pull.item->vc);
         return true;
       }
-    } else if (auto payload = source_(next_truth_index_)) {
-      send_data_flit(*payload, next_truth_index_, flow_id_);
-      next_truth_index_ += 1;
-      return true;
+      // Nothing schedulable. An empty queue goes idle; a blocked one
+      // records the stall and arms the probe so the unblocking signal (a
+      // credit return or a mark clear) cannot be lost forever.
+      if (pull.credit_blocked) {
+        note_credit_stall();
+      } else if (pull.ecn_blocked) {
+        note_ecn_stall();
+      }
+    } else {
+      if (!credit_windows_.vc(tx_vc_).available()) {
+        note_credit_stall();
+        return false;
+      }
+      if (((ecn_remote_marks_ >> tx_vc_) & 1u) != 0) {
+        note_ecn_stall();
+        return false;
+      }
+      if (auto payload = source_(next_truth_index_)) {
+        send_data_flit(*payload, next_truth_index_, flow_id_, tx_vc_);
+        next_truth_index_ += 1;
+        return true;
+      }
     }
   }
   return false;
 }
 
+void Endpoint::note_credit_stall() {
+  if (credit_stalled_) return;
+  extra_.credit_stalls += 1;
+  credit_stalled_ = true;
+  if (config_.retry_timeout > 0 && !credit_probe_timer_.armed())
+    credit_probe_timer_.arm(config_.retry_timeout);
+}
+
+void Endpoint::note_ecn_stall() {
+  if (ecn_stalled_) return;
+  extra_.ecn_stalls += 1;
+  ecn_stalled_ = true;
+  // The probe doubles as the mark-clear liveness net: a fully drained peer
+  // with no reverse traffic re-advertises (carrying the cleared bitmap)
+  // when probed, so a lost clear can never wedge the VC.
+  if (config_.retry_timeout > 0 && !credit_probe_timer_.armed())
+    credit_probe_timer_.arm(config_.retry_timeout);
+}
+
 void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
                               std::uint64_t truth_index,
-                              std::uint16_t flow_id) {
+                              std::uint16_t flow_id, std::uint8_t vc) {
   const std::uint16_t seq = next_seq_;
   // The canonical (replayable) image always carries the explicit/implicit
   // SeqNum with no piggybacked ACK; the wire image on first transmission
@@ -189,12 +230,13 @@ void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
   envelope.flow_id = flow_id;
   if (acknum.has_value()) stats_.acks_piggybacked += 1;
 
-  const bool pushed = retry_buffer_.push(seq, canonical, truth_index, flow_id);
+  const bool pushed =
+      retry_buffer_.push(seq, canonical, truth_index, flow_id, vc);
   assert(pushed);
   (void)pushed;
-  if (credit_window_.enabled()) {
-    assert(credit_window_.available());  // send_one gated on the window
-    credit_window_.consume();
+  if (credit_windows_.enabled()) {
+    assert(credit_windows_.vc(vc).available());  // send_one gated on the VC
+    credit_windows_.vc(vc).consume();
     extra_.credits_consumed += 1;
   }
   if (retry_buffer_.size() == 1) last_ack_progress_ = queue_.now();
@@ -207,14 +249,21 @@ void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
 
 void Endpoint::enqueue_control(flit::ReplayCmd command, std::uint16_t fsn) {
   // Every control flit carries the receive side's cumulative freed-slot
-  // count, so ACKs and NACKs double as credit returns; hops without flow
-  // control stamp zero, keeping their wire image unchanged.
-  std::uint16_t credit_word = 0;
-  if (credit_return_.enabled()) {
-    credit_word = credit_return_.returned_total();
-    credit_return_.mark_advertised();
+  // counts — one CRC-covered word per VC — plus the absolute ECN mark
+  // bitmap, so ACKs and NACKs double as credit returns and mark carriers.
+  // Hops without flow control stamp all-zero, keeping their wire image
+  // unchanged from the pre-credit encoding.
+  std::array<std::uint16_t, link::kMaxVcs> words{};
+  std::size_t stamped = 0;
+  if (credit_returns_.enabled()) {
+    stamped = credit_returns_.num_vcs();
+    for (std::size_t vc = 0; vc < stamped; ++vc)
+      words[vc] = credit_returns_.vc(vc).returned_total();
+    credit_returns_.mark_advertised();
   }
-  control_queue_.push_back(codec_.encode_control(command, fsn, credit_word));
+  const ControlCreditStamp stamp{
+      std::span<const std::uint16_t>(words.data(), stamped), ecn_local_marks_};
+  control_queue_.push_back(codec_.encode_control(command, fsn, stamp));
 }
 
 void Endpoint::begin_replay_from(std::uint16_t seq) {
@@ -284,15 +333,54 @@ unsigned Endpoint::credit_return_batch() const noexcept {
       ack_scheduler_.coalesce_factor(), half_window));
 }
 
-void Endpoint::return_credits(std::size_t n) {
-  if (!credit_return_.enabled() || n == 0) return;
-  for (std::size_t i = 0; i < n; ++i) credit_return_.on_slot_freed();
+void Endpoint::return_credits(std::size_t n) { return_credits(0, n); }
+
+void Endpoint::return_credits(std::uint8_t vc, std::size_t n) {
+  if (!credit_returns_.enabled() || n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) credit_returns_.vc(vc).on_slot_freed();
   extra_.credits_returned += n;
   flush_credit_returns();
 }
 
+bool Endpoint::vc_send_ready(std::size_t vc) const noexcept {
+  return credit_windows_.vc(vc).available() &&
+         ((ecn_remote_marks_ >> vc) & 1u) == 0;
+}
+
+void Endpoint::set_ecn_marks(std::uint8_t marks) {
+  if (marks == ecn_local_marks_) return;
+  ecn_local_marks_ = marks;
+  if (hop_dead_) return;
+  // A changed bitmap is worth a standalone advert: throttling late defeats
+  // the "before credit exhaustion" purpose, and resuming late strands
+  // bandwidth. The advert is the standard credit-return flit — marks ride
+  // the same CRC-covered control payload as the cumulative counts.
+  if (credit_returns_.enabled()) {
+    extra_.credit_adverts += 1;
+    enqueue_control(flit::ReplayCmd::kSeqNum, kCreditAdvertFsn);
+    kick();
+  }
+}
+
+void Endpoint::set_rx_flow_vc(std::uint16_t flow, std::uint8_t vc) {
+  for (auto& entry : rx_flow_vcs_) {
+    if (entry.first == flow) {
+      entry.second = vc;
+      return;
+    }
+  }
+  rx_flow_vcs_.emplace_back(flow, vc);
+}
+
+std::uint8_t Endpoint::rx_vc_for_flow(std::uint16_t flow) const noexcept {
+  for (const auto& entry : rx_flow_vcs_) {
+    if (entry.first == flow) return entry.second;
+  }
+  return 0;
+}
+
 void Endpoint::flush_credit_returns() {
-  const std::uint16_t owed = credit_return_.unadvertised();
+  const std::size_t owed = credit_returns_.unadvertised();
   if (owed == 0) return;
   if (owed >= credit_return_batch()) {
     extra_.credit_adverts += 1;
@@ -306,14 +394,14 @@ void Endpoint::flush_credit_returns() {
 void Endpoint::on_credit_timer() {
   // Stragglers below the batch threshold that no ACK/NACK picked up in
   // time: return them standalone so the peer's window cannot strand.
-  if (credit_return_.unadvertised() == 0) return;
+  if (credit_returns_.unadvertised() == 0) return;
   extra_.credit_adverts += 1;
   enqueue_control(flit::ReplayCmd::kSeqNum, kCreditAdvertFsn);
   kick();
 }
 
 void Endpoint::on_credit_probe_timer() {
-  if (hop_dead_ || !credit_stalled_) return;
+  if (hop_dead_ || (!credit_stalled_ && !ecn_stalled_)) return;
   // Still starved a full retry timeout after the stall began: the peer's
   // latest return may have been corrupted in transit and nothing else is
   // flowing to heal the cumulative count. Ask it to re-advertise.
@@ -332,16 +420,31 @@ void Endpoint::on_credit_probe_timer() {
   if (config_.retry_timeout > 0) credit_probe_timer_.arm(config_.retry_timeout);
 }
 
-void Endpoint::process_credit_word(std::uint16_t credit_word) {
-  if (!credit_window_.enabled()) return;
-  const std::size_t granted = credit_window_.on_advertisement(credit_word);
+void Endpoint::process_vc_credit_word(std::size_t vc,
+                                      std::uint16_t credit_word) {
+  if (!credit_windows_.enabled()) return;
+  const std::size_t granted =
+      credit_windows_.vc(vc).on_advertisement(credit_word);
   if (granted == 0) return;
   extra_.credits_granted += granted;
   if (credit_stalled_) {
     credit_stalled_ = false;
-    credit_probe_timer_.cancel();
+    if (!ecn_stalled_) credit_probe_timer_.cancel();
   }
   kick();  // window space opened
+}
+
+void Endpoint::process_ecn_marks(std::uint8_t marks) {
+  if (marks == ecn_remote_marks_) return;
+  const auto newly = static_cast<std::uint8_t>(marks & ~ecn_remote_marks_);
+  extra_.ecn_marks_seen +=
+      static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(newly)));
+  ecn_remote_marks_ = marks;
+  if (ecn_stalled_) {
+    ecn_stalled_ = false;
+    if (!credit_stalled_) credit_probe_timer_.cancel();
+  }
+  kick();  // a cleared mark may have opened a VC (a set one costs a no-op)
 }
 
 // --------------------------------------------------------------------------
@@ -392,6 +495,7 @@ void Endpoint::declare_hop_dead() {
     drained.item.payload.assign(payload.begin(), payload.end());
     drained.item.truth_index = entry.user_tag;
     drained.item.flow_id = entry.flow_tag;
+    drained.item.vc = entry.vc;
     event.drained.push_back(std::move(drained));
   });
   extra_.dead_flits_drained += event.drained.size();
@@ -400,7 +504,7 @@ void Endpoint::declare_hop_dead() {
   // still reserved on this hop (drained flits AND flits delivered whose
   // return can no longer arrive) is refunded, so the conservation ledger
   // closes as consumed == granted + refunded even across a link death.
-  extra_.credits_refunded += credit_window_.refund_outstanding();
+  extra_.credits_refunded += credit_windows_.refund_outstanding();
   if (hop_down_) hop_down_(std::move(event));
 }
 
@@ -461,7 +565,7 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
     nack_active_ = false;
     expected_seq_ = link::seq_next(expected_seq_);
     deliver(envelope);
-    after_delivery();
+    after_delivery(envelope.flow_id);
     return;
   }
 
@@ -474,7 +578,7 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
       episode_ahead_discards_ = 0;
       expected_seq_ = link::seq_next(expected_seq_);
       deliver(envelope);
-      after_delivery();
+      after_delivery(envelope.flow_id);
       // Selective repeat: the gap just filled; drain every consecutive
       // buffered successor in order.
       if (reorder_buffer_.has_value()) {
@@ -482,7 +586,7 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
           last_verified_ = expected_seq_;
           expected_seq_ = link::seq_next(expected_seq_);
           deliver(*buffered);
-          after_delivery();
+          after_delivery(buffered->flow_id);
         }
         // Buffered flits beyond ANOTHER gap remain: request the next
         // missing flit right away instead of waiting for a fresh arrival.
@@ -521,7 +625,7 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
         episode_ahead_discards_ = 0;
         expected_seq_ = link::seq_next(seq);
         deliver(envelope);
-        after_delivery();
+        after_delivery(envelope.flow_id);
         return;
       }
       send_nack();
@@ -545,7 +649,7 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
   extra_.unchecked_deliveries += 1;
   expected_seq_ = link::seq_next(expected_seq_);
   deliver(envelope);
-  after_delivery();
+  after_delivery(envelope.flow_id);
 }
 
 void Endpoint::rx_control(const flit::Flit& flit) {
@@ -560,7 +664,18 @@ void Endpoint::rx_control(const flit::Flit& flit) {
     return;
   }
   const flit::FlitHeader header = flit.header();
-  process_credit_word(control_credit_word(flit));
+  for (std::size_t vc = 0; vc < credit_windows_.num_vcs(); ++vc)
+    process_vc_credit_word(vc, control_vc_credit_word(flit, vc));
+  // ECN marks only exist on top of credit flow control (they throttle BEFORE
+  // window exhaustion), so with credits off the mark byte is ignored — a
+  // CXL-resigned corrupted control flit must not conjure phantom marks.
+  // Masking to the configured VC count drops corrupt high bits the same way.
+  if (credit_windows_.enabled()) {
+    const auto vc_mask = static_cast<std::uint8_t>(
+        (1u << credit_windows_.num_vcs()) - 1u);
+    process_ecn_marks(static_cast<std::uint8_t>(control_ecn_marks(flit) &
+                                                vc_mask));
+  }
   switch (header.replay_cmd) {
     case flit::ReplayCmd::kAck:
       process_acknum(header.fsn);
@@ -573,7 +688,7 @@ void Endpoint::rx_control(const flit::Flit& flit) {
       // Credit-management control flit: the credit word above already
       // delivered any return; a probe additionally asks this side to
       // re-advertise its cumulative count (its last return may be lost).
-      if (header.fsn == kCreditProbeFsn && credit_return_.enabled()) {
+      if (header.fsn == kCreditProbeFsn && credit_returns_.enabled()) {
         extra_.credit_adverts += 1;
         enqueue_control(flit::ReplayCmd::kSeqNum, kCreditAdvertFsn);
         kick();
@@ -668,14 +783,15 @@ void Endpoint::deliver(const sim::FlitEnvelope& envelope) {
   if (deliver_) deliver_(envelope.flit.payload(), envelope);
 }
 
-void Endpoint::after_delivery() {
+void Endpoint::after_delivery(std::uint16_t flow_id) {
   // Terminal consumption frees the notional one-deep receive buffer at
   // once; count the free BEFORE scheduling the ACK so an ACK due this very
   // delivery carries the freshest cumulative count (piggybacked return).
+  // The free is attributed to the VC the delivered flow rides on.
   const bool auto_return =
-      credit_return_.enabled() && !deferred_credit_return_;
+      credit_returns_.enabled() && !deferred_credit_return_;
   if (auto_return) {
-    credit_return_.on_slot_freed();
+    credit_returns_.vc(rx_vc_for_flow(flow_id)).on_slot_freed();
     extra_.credits_returned += 1;
   }
   ack_scheduler_.on_delivered(seq_prev(expected_seq_));

@@ -4,11 +4,21 @@
 #include <cassert>
 
 #include "rxl/common/bytes.hpp"
+#include "rxl/link/credit.hpp"
 
 namespace rxl::transport {
 
 std::uint16_t control_credit_word(const flit::Flit& flit) noexcept {
   return load_le16(flit.payload(), 0);
+}
+
+std::uint16_t control_vc_credit_word(const flit::Flit& flit,
+                                     std::size_t vc) noexcept {
+  return load_le16(flit.payload(), 2 * vc);
+}
+
+std::uint8_t control_ecn_marks(const flit::Flit& flit) noexcept {
+  return flit.payload()[kEcnMarksOffset];
 }
 
 FlitCodec::FlitCodec(Protocol protocol) : protocol_(protocol), isn_() {}
@@ -55,6 +65,24 @@ flit::Flit FlitCodec::encode_control(flit::ReplayCmd command,
   store_le16(out.payload(), 0, credit_word);
   // Control flits sit outside the data sequence stream in both stacks:
   // plain CRC, no ISN fold.
+  out.set_crc_field(isn_.encode_plain(out.crc_protected_region()));
+  fec_.encode(out.bytes());
+  return out;
+}
+
+flit::Flit FlitCodec::encode_control(flit::ReplayCmd command,
+                                     std::uint16_t fsn,
+                                     const ControlCreditStamp& stamp) const {
+  assert(stamp.vc_words.size() <= link::kMaxVcs);
+  flit::Flit out;
+  flit::FlitHeader header;
+  header.type = flit::FlitType::kControl;
+  header.replay_cmd = command;
+  header.fsn = fsn & kSeqMask;
+  out.set_header(header);
+  for (std::size_t vc = 0; vc < stamp.vc_words.size(); ++vc)
+    store_le16(out.payload(), 2 * vc, stamp.vc_words[vc]);
+  out.payload()[kEcnMarksOffset] = stamp.ecn_marks;
   out.set_crc_field(isn_.encode_plain(out.crc_protected_region()));
   fec_.encode(out.bytes());
   return out;

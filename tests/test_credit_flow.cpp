@@ -440,5 +440,50 @@ TEST(CreditFlow, PerEdgeOverrideTightensOnlyTheTrunk) {
   expect_strict_conservation(report);
 }
 
+// --------------------------------------------------------------------------
+// Starvation guards: the DRR quantum floor
+// --------------------------------------------------------------------------
+
+TEST(CreditFlow, ZeroWeightFlowStillDrainsUnderDrr) {
+  // A weight-0 flow sharing the incast egress with a saturating elephant:
+  // the scheduler's quantum floor (max(1, weight)) guarantees the starved
+  // VC at least one flit per service round, so the flow finishes instead
+  // of parking forever behind the elephant's backlog.
+  DagScenarioSpec spec = clean_spec(20'000, 8);
+  spec.egress_policy = switchdev::EgressPolicy::kDrr;
+  const DagFlowClass classes[] = {{0, 6, 0, 0}, {1, 0, 0, 300}};
+  const DagConfig config = make_incast_dag(spec, 2, classes);
+  const DagReport report = run_dag_fabric(config);
+  ASSERT_EQ(report.flows.size(), 2u);
+  EXPECT_EQ(report.flows[1].scoreboard.in_order, 300u);
+  EXPECT_EQ(report.flows[1].scoreboard.missing, 0u);
+  // The elephant kept the port saturated the whole time — the zero-weight
+  // flow drained through contention, not after it.
+  EXPECT_GT(report.flows[0].scoreboard.in_order, 10'000u);
+  EXPECT_EQ(report.total_order_failures(), 0u);
+  expect_strict_conservation(report);
+}
+
+TEST(CreditFlow, MarkSaturatedFlowStillDrainsUnderEcn) {
+  // ecn_threshold = 1 marks a VC the moment a single flit is parked, so
+  // both flows run mark-saturated for the whole contention. Marks are
+  // early THROTTLE, not admission control: every mark clears once the
+  // occupancy drains, the upstream re-kicks, and everything delivers.
+  DagScenarioSpec spec = clean_spec(600, 8);
+  spec.egress_policy = switchdev::EgressPolicy::kDrr;
+  spec.ecn_threshold = 1;
+  const DagFlowClass classes[] = {{0, 1, 0, 0}, {1, 1, 0, 0}};
+  const DagConfig config = make_incast_dag(spec, 2, classes);
+  const DagReport report = run_dag_fabric(config);
+  for (const DagFlowReport& flow : report.flows) {
+    EXPECT_EQ(flow.scoreboard.in_order, 600u);
+    EXPECT_EQ(flow.scoreboard.missing, 0u);
+  }
+  EXPECT_GT(report.total_ecn_mark_events(), 0u);
+  EXPECT_GT(report.total_ecn_stalls(), 0u);
+  EXPECT_EQ(report.total_order_failures(), 0u);
+  expect_strict_conservation(report);
+}
+
 }  // namespace
 }  // namespace rxl::transport

@@ -33,6 +33,12 @@
 //       it (no include-order luck). The CMake header-selfcheck target
 //       compiles every public header standalone; this rule catches the
 //       common std cases at lint speed with line-level messages.
+//   R6  no std::deque/std::list in the switchdev/ and link/ hot paths.
+//       Relay queues and link-layer buffers are the credit-flow-control
+//       accounting surface: an unbounded node-allocating container there
+//       either hides a missing bound (the overload the credits exist to
+//       prevent) or allocates per flit. Use RingQueue, or suppress with a
+//       comment justifying why the container is externally bounded.
 //
 // Suppressions:
 //   // rxl-lint: allow(R3)            same line or the line directly above
@@ -86,6 +92,8 @@ constexpr RuleInfo kRules[] = {
     {"R4", "no float/double in protocol/sim state headers"},
     {"R5", "headers must directly include the std headers they use "
            "(IWYU-lite)"},
+    {"R6", "no std::deque/std::list in switchdev//link/ hot paths; use "
+           "RingQueue or justify the bound"},
 };
 
 bool is_ident_char(char c) {
@@ -265,6 +273,14 @@ bool in_state_header_scope(const std::string& rel) {
          starts_with(rel, "include/rxl/crc/") ||
          starts_with(rel, "include/rxl/sim/") ||
          starts_with(rel, "include/rxl/common/");
+}
+
+/// R6: the relay/link data path, where every queue is a credit-accounted
+/// bounded buffer (or must say why it is not).
+bool in_bounded_queue_scope(const std::string& rel) {
+  return starts_with(rel, "include/rxl/switchdev/") ||
+         starts_with(rel, "src/switchdev/") ||
+         starts_with(rel, "include/rxl/link/") || starts_with(rel, "src/link/");
 }
 
 bool is_header(const std::string& rel) {
@@ -553,6 +569,28 @@ void check_r5(const std::vector<Line>& lines, const std::string& rel,
   }
 }
 
+void check_r6(const std::vector<Line>& lines, const std::string& rel,
+              std::vector<Finding>* findings) {
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    if (is_preprocessor(code)) continue;  // the #include itself is harmless
+    for (const char* type : {"deque", "list"}) {
+      for (std::size_t pos = find_word(code, type); pos != std::string::npos;
+           pos = find_word(code, type, pos + 1)) {
+        // Only the std containers: a member named `list` or a local
+        // `free_list` is not a queue type.
+        if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) continue;
+        findings->push_back(
+            {rel, n + 1, "R6",
+             std::string("std::") + type +
+                 " in a relay/link hot path — queues there are bounded, "
+                 "credit-accounted buffers; use RingQueue or justify the "
+                 "external bound in an allow(R6) comment"});
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 struct Options {
@@ -605,6 +643,8 @@ void scan_file(const fs::path& file, const Options& opt,
     check_r4(lines, display, &findings);
   if (rule_enabled(opt, "R5") && in_public_header_scope(rel))
     check_r5(lines, display, &findings);
+  if (rule_enabled(opt, "R6") && in_bounded_queue_scope(rel))
+    check_r6(lines, display, &findings);
 
   for (Finding& f : findings) {
     if (file_allow.count(f.rule) != 0) continue;

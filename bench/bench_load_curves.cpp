@@ -1,0 +1,174 @@
+// Load-latency curves: goodput and tail latency vs offered load.
+//
+// The classic interconnect evaluation (and the one the multistage-network
+// literature reports): sweep an open-loop offered load from well below to
+// past the bottleneck wire's capacity and watch two things — goodput
+// saturating at the wire limit, and the latency tail (p99/p999) inflecting
+// as the load crosses capacity, because an open-loop source's backlog grows
+// without bound once arrivals outpace service. Latency here is measured
+// from each flit's Poisson ARRIVAL time to its in-order delivery (the
+// histogram in DagFlowReport), so the source-side queueing that dominates
+// past saturation is included; percentiles come from the fixed-footprint
+// log-bucketed histogram, never from stored samples.
+//
+// Scenarios: incast-4 (four sources onto one sink hop), trunk-4 (four
+// flows through one relay-relay trunk), chain-3 (one flow over four hops),
+// each under RXL and CXL, with the same 1e-3 burst injection the
+// congestion table uses — on a clean wire the two stacks schedule flits
+// identically, so the RXL-vs-CXL delta only appears once retries compete
+// with new traffic for the saturated wire. Load is the aggregate arrival
+// rate as a percentage of the bottleneck wire's 1-flit-per-slot capacity.
+//
+// Output is deterministic (a pure function of the fixed seeds) and byte
+// identical for any RXL_TRIAL_WORKERS; CI diffs the 1-vs-4-worker outputs
+// against bench/expected/load_curves.txt.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rxl/sim/stats.hpp"
+#include "rxl/sim/trial_runner.hpp"
+#include "rxl/stats/latency_histogram.hpp"
+#include "rxl/transport/dag_fabric.hpp"
+
+using namespace rxl;
+
+namespace {
+
+enum class Family { kIncast, kTrunk, kChain };
+
+struct LoadCase {
+  const char* name;
+  Family family;
+  transport::Protocol protocol;
+  std::uint64_t load_pct;  // aggregate arrival rate, % of wire capacity
+};
+
+constexpr TimePs kHorizon = 100'000'000;  // 100 us
+
+transport::DagConfig build(const LoadCase& scenario) {
+  transport::DagScenarioSpec spec;
+  spec.protocol.protocol = scenario.protocol;
+  spec.protocol.coalesce_factor = 10;
+  spec.burst_injection_rate = 1e-3;
+  spec.flits_per_flow = 70'000;  // never the limit: arrivals are
+  spec.seed = 311;
+  spec.horizon = kHorizon;
+  spec.hop_credits = 32;
+  spec.sample_latency = true;
+  transport::DagConfig config;
+  switch (scenario.family) {
+    case Family::kIncast:
+      config = transport::make_incast_dag(spec, 4);
+      break;
+    case Family::kTrunk:
+      config = transport::make_trunk_dag(spec, 4);
+      break;
+    case Family::kChain:
+      config = transport::make_chain_dag(spec, 3);
+      break;
+  }
+  // The bottleneck wire carries 1 flit per slot, so an aggregate load of
+  // load_pct% split over F flows means one arrival per flow every
+  // F * slot * 100 / load_pct picoseconds.
+  const std::uint64_t flows = config.flows.size();
+  for (transport::DagFlow& flow : config.flows) {
+    flow.arrival = transport::ArrivalKind::kPoisson;
+    flow.interval = config.slot * flows * 100 / scenario.load_pct;
+  }
+  return config;
+}
+
+struct Row {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t order_failures = 0;
+};
+
+Row run_scenario(const LoadCase& scenario) {
+  const transport::DagReport report =
+      transport::run_dag_fabric(build(scenario));
+  const stats::LatencyHistogram merged = report.merged_latency();
+  Row row;
+  row.offered = report.total_offered();
+  row.delivered = report.total_in_order();
+  row.p50_ns = merged.p50() / 1000;
+  row.p99_ns = merged.p99() / 1000;
+  row.p999_ns = merged.p999() / 1000;
+  row.max_us = merged.max() / 1'000'000;
+  row.misses = report.total_latency_sample_misses();
+  row.order_failures = report.total_order_failures();
+  return row;
+}
+
+std::string goodput_per_us(std::uint64_t delivered) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu.%llu",
+                static_cast<unsigned long long>(delivered / 100),
+                static_cast<unsigned long long>((delivered % 100) / 10));
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "RXL reproduction — load-latency curves (open-loop Poisson arrivals)\n"
+      "===================================================================\n\n"
+      "Burst injection 1e-3 per link per flit, horizon 100 us, per-hop\n"
+      "credits 32, Poisson arrivals.\n"
+      "load = aggregate arrival rate as %% of the bottleneck wire's\n"
+      "1-flit-per-slot (500 flits/us) capacity. incast-4: four sources\n"
+      "squeeze onto one sink hop; trunk-4: four flows share one\n"
+      "relay-relay trunk; chain-3: one flow over four hops. Latency is\n"
+      "arrival -> in-order delivery (source backlog included), from the\n"
+      "fixed-bucket histogram (<= 6.25%% bucket error).\n\n");
+
+  constexpr transport::Protocol kCxl = transport::Protocol::kCxl;
+  constexpr transport::Protocol kRxl = transport::Protocol::kRxl;
+  constexpr Family kFamilies[] = {Family::kIncast, Family::kTrunk,
+                                  Family::kChain};
+  constexpr const char* kNames[] = {"incast-4", "trunk-4", "chain-3"};
+  constexpr std::uint64_t kLoads[] = {25, 50, 75, 90, 100, 110, 125};
+
+  std::vector<LoadCase> cases;
+  for (std::size_t fam = 0; fam < 3; ++fam)
+    for (const transport::Protocol protocol : {kRxl, kCxl})
+      for (const std::uint64_t load : kLoads)
+        cases.push_back({kNames[fam], kFamilies[fam], protocol, load});
+
+  const auto rows = sim::run_trials(cases.size(), [&](std::size_t trial) {
+    return run_scenario(cases[trial]);
+  });
+
+  sim::TextTable table({"scenario", "proto", "load %", "offered", "delivered",
+                        "goodput/us", "p50 ns", "p99 ns", "p999 ns", "max us",
+                        "miss", "ord fail"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Row& row = rows[i];
+    table.add_row({cases[i].name,
+                   transport::protocol_name(cases[i].protocol),
+                   std::to_string(cases[i].load_pct),
+                   std::to_string(row.offered), std::to_string(row.delivered),
+                   goodput_per_us(row.delivered), std::to_string(row.p50_ns),
+                   std::to_string(row.p99_ns), std::to_string(row.p999_ns),
+                   std::to_string(row.max_us), std::to_string(row.misses),
+                   std::to_string(row.order_failures)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: below capacity, goodput tracks the offered load and the\n"
+      "percentiles sit near the uncontended path latency. As the load\n"
+      "crosses 100%% the goodput column saturates at the wire limit while\n"
+      "p99/p999 inflect by orders of magnitude — the open-loop arrival\n"
+      "backlog grows for the whole horizon, and `max us` approaches the\n"
+      "horizon itself. Zero miss column: the credit-bounded outstanding\n"
+      "window never outruns the kLatencyRingSlots timestamp ring. Zero\n"
+      "ord-fail: overload never reorders a flow.\n");
+  return 0;
+}

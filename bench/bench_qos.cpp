@@ -23,11 +23,13 @@
 // identical for any RXL_TRIAL_WORKERS; CI diffs the 1-vs-4-worker outputs.
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "rxl/sim/stats.hpp"
 #include "rxl/sim/trial_runner.hpp"
+#include "rxl/stats/latency_histogram.hpp"
 #include "rxl/switchdev/egress_scheduler.hpp"
 #include "rxl/transport/dag_fabric.hpp"
 
@@ -139,16 +141,13 @@ struct Row {
   std::uint64_t order_failures = 0;
 };
 
-std::int64_t percentile_ns(std::vector<TimePs>& samples, std::uint64_t q) {
-  if (samples.empty()) return -1;
-  std::sort(samples.begin(), samples.end());
-  const std::size_t index =
-      static_cast<std::size_t>((q * (samples.size() - 1)) / 100);
-  return static_cast<std::int64_t>(samples[index] / 1000);
-}
-
 Row run_scenario(const QosCase& scenario) {
-  const transport::DagConfig config = build(scenario);
+  transport::DagConfig config = build(scenario);
+  // Keep the raw per-delivery samples (not just the histogram): the mice
+  // percentiles below are exact nearest-rank values over the full sample
+  // set, and these runs are small enough that the debug opt-in's
+  // delivered-proportional memory is harmless.
+  config.debug_latency_samples = true;
   const transport::DagReport report = transport::run_dag_fabric(config);
   Row row;
   row.delivered = report.total_in_order();
@@ -180,8 +179,17 @@ Row run_scenario(const QosCase& scenario) {
   if (greedy > 0 && sum_sq > 0.0)
     row.jain = (sum * sum) / (static_cast<double>(greedy) * sum_sq);
   if (row.shares.empty()) row.shares.push_back('-');
-  row.mice_p50 = percentile_ns(mice_samples, 50);
-  row.mice_p99 = percentile_ns(mice_samples, 99);
+  if (!mice_samples.empty()) {
+    // Sort once, then ceiling nearest-rank per quantile (stats helper):
+    // the old floor((q*(n-1))/100) under-reported tails at small n (p99 of
+    // 50 samples read index 48, not 49).
+    std::sort(mice_samples.begin(), mice_samples.end());
+    const std::span<const TimePs> sorted(mice_samples);
+    row.mice_p50 =
+        static_cast<std::int64_t>(stats::percentile_sorted(sorted, 50) / 1000);
+    row.mice_p99 =
+        static_cast<std::int64_t>(stats::percentile_sorted(sorted, 99) / 1000);
+  }
   return row;
 }
 

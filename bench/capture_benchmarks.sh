@@ -39,7 +39,7 @@ done
 # diff in these files is a behaviour change, not noise.
 for table in reliability_table bandwidth_table ablation fig8_fit \
              hw_overhead scenarios dag_scenarios congestion resilience \
-             qos; do
+             qos load_curves; do
   echo "== bench_$table -> $out_dir/$table.txt"
   "$build_dir/bench/bench_$table" > "$out_dir/$table.txt"
 done
@@ -50,7 +50,7 @@ echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
   # gtest suite names Fabric.* / StarFabric.* / DagProperties.* /
   # CongestionProperties.* / FaultProperties.* (see tests/CMakeLists.txt).
   for suite in Fabric StarFabric DagProperties CongestionProperties \
-               FaultProperties; do
+               FaultProperties TrafficProperties; do
     start=$(date +%s%3N)
     # (^|/) also catches value-parameterized cases ("Batches/DagProperties.")
     ctest --test-dir "$build_dir" -R "(^|/)${suite}\." --output-on-failure -Q

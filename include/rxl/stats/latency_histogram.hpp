@@ -1,0 +1,151 @@
+// Fixed-footprint log-bucketed latency histogram.
+//
+// The measurement substrate for load-latency curves: every delivered flit's
+// end-to-end latency lands in one of a fixed set of buckets, so p50/p99/
+// p999/max are available without storing per-sample vectors (memory is
+// constant regardless of run length — the unbounded-growth class rxl-lint
+// R6 bans in hot paths). Buckets are logarithmic with kSubBits bits of
+// mantissa per octave (HDR-histogram style): values below kSubBuckets are
+// exact, larger values quantize with relative error below 1/kSubBuckets
+// (6.25% at the default 4 sub-bucket bits), so a reported percentile is
+// always within one bucket width of the exact sorted-sample percentile.
+//
+// Merging is exact and deterministic: bucket counts add, min/max combine,
+// and integer addition commutes — sim::run_trials merges at any worker
+// count produce bit-identical histograms (operator== compares every
+// bucket), which is what the 1-vs-N-worker CI diffs pin.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rxl::stats {
+
+/// Ceiling nearest-rank index: the 0-based index of the q-th percentile
+/// (q = num/den) in a sorted sample of size n, with rank = ceil(n * q)
+/// clamped to [1, n]. This is the textbook nearest-rank method; the naive
+/// floor((q * (n - 1)) / 100) under-reports tails at small n (p99 of 50
+/// samples must read index 49, the maximum, not 48).
+[[nodiscard]] constexpr std::size_t nearest_rank_index(
+    std::size_t n, std::uint64_t num, std::uint64_t den = 100) noexcept {
+  assert(n > 0 && den > 0);
+  std::uint64_t rank =
+      (static_cast<std::uint64_t>(n) * num + den - 1) / den;  // ceil
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = static_cast<std::uint64_t>(n);
+  return static_cast<std::size_t>(rank - 1);
+}
+
+/// Exact q-th percentile (q = num/den) of an already-sorted span by the
+/// ceiling nearest-rank rule above. Sort once, then query every quantile.
+template <typename T>
+[[nodiscard]] constexpr T percentile_sorted(std::span<const T> sorted,
+                                            std::uint64_t num,
+                                            std::uint64_t den = 100) noexcept {
+  assert(!sorted.empty());
+  return sorted[nearest_rank_index(sorted.size(), num, den)];
+}
+
+class LatencyHistogram {
+ public:
+  /// Mantissa bits per octave: 16 sub-buckets, <= 6.25% relative error.
+  static constexpr std::size_t kSubBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  /// Full 64-bit value range: one exact block below kSubBuckets plus
+  /// kSubBuckets sub-buckets for each remaining power-of-two octave.
+  static constexpr std::size_t kBuckets =
+      ((64 - kSubBits) << kSubBits) + kSubBuckets;  // 976
+
+  /// Bucket index of `value` (branch-free beyond the small-value fast path).
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+    const unsigned shift = msb - static_cast<unsigned>(kSubBits);
+    return ((static_cast<std::size_t>(shift) + 1) << kSubBits) +
+           static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+  }
+
+  /// Smallest / largest value landing in bucket `index`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(
+      std::size_t index) noexcept {
+    const std::size_t block = index >> kSubBits;
+    const std::uint64_t pos = index & (kSubBuckets - 1);
+    if (block == 0) return pos;
+    return (static_cast<std::uint64_t>(kSubBuckets) + pos) << (block - 1);
+  }
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t index) noexcept {
+    const std::size_t block = index >> kSubBits;
+    if (block == 0) return bucket_lower(index);
+    return bucket_lower(index) + ((std::uint64_t{1} << (block - 1)) - 1);
+  }
+
+  void add(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)] += 1;
+    count_ += 1;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Exact deterministic merge: bucket counts add and min/max combine, so
+  /// merging per-trial histograms in trial order yields bit-identical state
+  /// for any sim::run_trials worker count.
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+
+  /// q-th percentile (q = num/den) by the same ceiling nearest-rank rule as
+  /// percentile_sorted: the reported value is the upper bound of the bucket
+  /// holding the rank-th smallest sample (clamped to the exact max), so it
+  /// is >= the exact sorted-sample percentile and within one bucket width
+  /// of it. Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(
+      std::uint64_t num, std::uint64_t den = 100) const noexcept {
+    if (count_ == 0) return 0;
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(nearest_rank_index(
+            static_cast<std::size_t>(count_), num, den)) +
+        1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        const std::uint64_t upper = bucket_upper(i);
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;  // unreachable when counts are consistent
+  }
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return percentile(50); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return percentile(99); }
+  [[nodiscard]] std::uint64_t p999() const noexcept {
+    return percentile(999, 1000);
+  }
+
+  /// Bitwise state equality (every bucket, count, min, max): the
+  /// merge-determinism contract the 1-vs-N-worker tests assert.
+  [[nodiscard]] bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rxl::stats

@@ -37,11 +37,13 @@
 
 #include "rxl/link/link_layer.hpp"
 #include "rxl/sim/fault_plan.hpp"
+#include "rxl/stats/latency_histogram.hpp"
 #include "rxl/switchdev/port_switch.hpp"
 #include "rxl/switchdev/relay_switch.hpp"
 #include "rxl/transport/config.hpp"
 #include "rxl/transport/endpoint.hpp"
 #include "rxl/transport/star_fabric.hpp"
+#include "rxl/transport/traffic_gen.hpp"
 #include "rxl/txn/scoreboard.hpp"
 
 namespace rxl::transport {
@@ -92,11 +94,30 @@ struct DagFlow {
   /// a mismatch — the relay schedules VCs, not flows). Weight 0 is legal:
   /// the scheduler's quantum floor still serves one flit per round.
   std::uint32_t weight = 1;
-  /// Minimum spacing between successive source pulls (0 = unpaced, the
-  /// legacy greedy source): payload index i is offered no earlier than
-  /// i * pace. This is how a low-rate "mice" flow is modelled against
-  /// greedy elephants.
+  /// Deterministic-rate shorthand: payload index i is offered no earlier
+  /// than i * pace (0 = unpaced). Equivalent to arrival = kPaced with
+  /// interval = pace; kept because it is how every pre-traffic-gen harness
+  /// models a low-rate "mice" flow against greedy elephants. Only legal
+  /// with arrival = kGreedy (auto-promoted to kPaced) or kPaced.
   TimePs pace = 0;
+  /// Arrival process driving this flow's source (see traffic_gen.hpp).
+  /// kGreedy (the default) offers every payload immediately — the legacy
+  /// pull-limited source, byte-identical on the wire.
+  ArrivalKind arrival = ArrivalKind::kGreedy;
+  /// Mean inter-arrival (kPaced/kPoisson) or intra-burst spacing (kOnOff).
+  TimePs interval = 0;
+  /// kOnOff: mean burst length in flits (>= 1).
+  double on_mean_flits = 16.0;
+  /// kOnOff: mean idle gap between bursts (> 0).
+  TimePs off_mean = 0;
+  /// kClosedLoop: max outstanding payloads (>= 1).
+  std::uint32_t window = 0;
+  /// kClosedLoop: think time between a delivery and the freed slot.
+  TimePs think = 0;
+  /// Extra per-flow entropy mixed into the arrival stream's seed (the
+  /// stream also mixes DagConfig::seed and the flow index, so two flows
+  /// with identical specs never share an arrival sequence).
+  std::uint64_t arrival_seed = 0;
 };
 
 struct DagConfig {
@@ -142,11 +163,25 @@ struct DagConfig {
   /// Requires credit flow control (plan_dag rejects ECN with every hop
   /// unbounded — the mark byte is only honoured on credited hops).
   std::size_t ecn_threshold = 0;
-  /// Record per-flow end-to-end latency samples (source pull -> sink
-  /// delivery) into DagFlowReport::latency_samples. Off by default: the
-  /// samples cost memory proportional to delivered flits.
+  /// Record per-flow end-to-end latency (arrival-due or source-pull ->
+  /// sink delivery) into DagFlowReport::latency. Off by default; the
+  /// recording footprint is fixed (a log-bucketed histogram plus a
+  /// kLatencyRingSlots timestamp ring per flow) regardless of run length.
   bool sample_latency = false;
+  /// Debug opt-in: additionally keep every raw sample in delivery order in
+  /// DagFlowReport::latency_samples (memory proportional to delivered
+  /// flits — exactly what the histogram exists to avoid). Implies
+  /// sample_latency.
+  bool debug_latency_samples = false;
 };
+
+/// Per-flow inject-timestamp ring depth for latency sampling: timestamps
+/// are keyed by truth index modulo this, so a delivery more than
+/// kLatencyRingSlots behind the newest pull has lost its timestamp and
+/// counts into DagFlowReport::latency_sample_misses instead of sampling.
+/// Sized far above any credited fabric's per-flow outstanding bound
+/// (retry windows + relay queues are hundreds, not thousands).
+inline constexpr std::size_t kLatencyRingSlots = 4096;
 
 /// The compiled routing plan: what plan_dag() validates and run_dag_fabric()
 /// instantiates. Exposed so tests can pin routing decisions directly.
@@ -233,9 +268,20 @@ struct DagFlowReport {
   /// True when the reroute controller switched this flow onto a backup
   /// path mid-run (its delivered stream then spans both paths).
   bool rerouted = false;
-  /// End-to-end latency per delivered payload (source pull -> sink
-  /// delivery), in delivery order. Populated only when
-  /// DagConfig::sample_latency is set.
+  /// End-to-end delivery latency histogram (fixed footprint, exact
+  /// deterministic merge). For open-loop rate-driven flows (kPaced /
+  /// kPoisson / kOnOff) the latency is measured from the arrival DUE time,
+  /// so source-side queueing under overload is included — that is what
+  /// makes load-latency curves inflect past saturation. Greedy and
+  /// closed-loop flows measure from the source pull. Populated only when
+  /// DagConfig::sample_latency (or debug_latency_samples) is set.
+  stats::LatencyHistogram latency;
+  /// Deliveries whose inject timestamp had already been overwritten in the
+  /// kLatencyRingSlots ring (flow fell more than the ring depth behind).
+  /// Zero on every credited fabric; the deterministic suites pin that.
+  std::uint64_t latency_sample_misses = 0;
+  /// Raw per-delivery samples in delivery order. Populated only under the
+  /// DagConfig::debug_latency_samples opt-in (unbounded memory).
   std::vector<TimePs> latency_samples;
 };
 
@@ -318,6 +364,10 @@ struct DagReport {
   [[nodiscard]] std::uint64_t total_flits_blackholed() const;
   /// Reroute episodes that actually switched traffic onto a backup path.
   [[nodiscard]] std::uint64_t total_reroutes_executed() const;
+  /// --- Latency-sampling aggregates (empty/zero unless sample_latency) ---
+  /// All flows' histograms merged (exact, deterministic).
+  [[nodiscard]] stats::LatencyHistogram merged_latency() const;
+  [[nodiscard]] std::uint64_t total_latency_sample_misses() const;
 };
 
 /// Builds, runs, and reports a DAG fabric simulation.

@@ -329,6 +329,56 @@ DagPlan plan_dag(const DagConfig& config) {
       }
     }
   }
+  // Arrival-process sanity. `pace` is the deterministic-rate shorthand
+  // (exactly kPaced with interval = pace), so it cannot combine with a
+  // different kind or a conflicting interval; each kind's shape parameters
+  // must be present, and parameters of other kinds must be absent — a
+  // silently-ignored knob would misstate the offered load.
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const DagFlow& flow = config.flows[f];
+    auto flow_invalid = [&](const char* what) {
+      std::string message = "flow ";
+      message += std::to_string(f);
+      message += " (";
+      message += arrival_kind_name(flow.arrival);
+      message += " arrivals) ";
+      message += what;
+      invalid(std::move(message));
+    };
+    if (flow.pace > 0 && flow.arrival != ArrivalKind::kGreedy &&
+        flow.arrival != ArrivalKind::kPaced)
+      flow_invalid(
+          "sets pace, the deterministic-rate shorthand; rate-shaped kinds "
+          "set interval instead");
+    if (flow.pace > 0 && flow.interval > 0 && flow.interval != flow.pace)
+      flow_invalid("sets pace and a conflicting interval");
+    const TimePs interval = flow.interval > 0 ? flow.interval : flow.pace;
+    switch (flow.arrival) {
+      case ArrivalKind::kGreedy:
+        if (flow.interval > 0)
+          flow_invalid("sets interval; pick a rate-shaped arrival kind");
+        break;
+      case ArrivalKind::kPaced:
+      case ArrivalKind::kPoisson:
+        if (interval == 0) flow_invalid("needs interval > 0");
+        break;
+      case ArrivalKind::kOnOff:
+        if (interval == 0) flow_invalid("needs interval > 0 (burst spacing)");
+        if (flow.off_mean == 0) flow_invalid("needs off_mean > 0");
+        if (!(flow.on_mean_flits >= 1.0))
+          flow_invalid("needs on_mean_flits >= 1");
+        break;
+      case ArrivalKind::kClosedLoop:
+        if (flow.window == 0) flow_invalid("needs window >= 1");
+        if (interval > 0) flow_invalid("takes no pace/interval");
+        break;
+    }
+    if (flow.window > 0 && flow.arrival != ArrivalKind::kClosedLoop)
+      flow_invalid("sets window; only closed-loop flows take one");
+    if (flow.think > 0 && flow.arrival != ArrivalKind::kClosedLoop)
+      flow_invalid("sets think; only closed-loop flows take one");
+  }
+
   // ECN marks ride on the credit machinery (they throttle a VC BEFORE its
   // window exhausts, and endpoints ignore the mark byte with credits off),
   // so a threshold with every hop unbounded could never fire.
@@ -1012,19 +1062,29 @@ DagReport run_dag_fabric(const DagConfig& config) {
     }
   }
 
-  // Flow sources and sinks. Per-flow runtime state for pacing (one armed
-  // wake-up per paced flow) and latency sampling (source-pull timestamps
-  // the sink subtracts at delivery); the vectors are sized once, so the
+  // Flow sources and sinks. Per-flow runtime state for arrival processes
+  // (one armed wake-up per rate-shaped flow), closed-loop windows, and
+  // latency sampling. The sampling footprint is fixed per flow — a
+  // log-bucketed histogram plus a kLatencyRingSlots timestamp ring keyed
+  // by truth index — so memory no longer grows with run length (raw
+  // samples only under the debug opt-in). The vector is sized once, so the
   // lambdas' element pointers stay stable for the whole run.
   struct FlowRuntime {
-    std::vector<TimePs> inject_at;
-    std::vector<TimePs> samples;
+    stats::LatencyHistogram latency;
+    std::vector<TimePs> ring_at;          // inject timestamp per ring slot
+    std::vector<std::uint64_t> ring_tag;  // truth index stamped in the slot
+    std::vector<TimePs> debug_samples;
+    std::uint64_t sample_misses = 0;
     bool pace_armed = false;
+    std::optional<ArrivalProcess> arrivals;
+    std::optional<ClosedLoopWindow> loop;
+    Endpoint* source = nullptr;  // closed-loop completion kick target
   };
   std::vector<txn::StreamScoreboard> boards(config.flows.size());
   std::vector<std::uint64_t> offered(config.flows.size(), 0);
   std::vector<FlowRuntime> flow_runtime(config.flows.size());
-  const bool sample = config.sample_latency;
+  const bool sample = config.sample_latency || config.debug_latency_samples;
+  const bool debug = config.debug_latency_samples;
   std::uint64_t misrouted = 0;
   for (const auto& [key, endpoint] : terminal_of) {
     const std::uint16_t node = key.first;
@@ -1035,17 +1095,38 @@ DagReport run_dag_fabric(const DagConfig& config) {
     FlowRuntime* const runtime_base = flow_runtime.data();
     sim::EventQueue* const queue_ptr = &queue;
     endpoint->set_deliver([board_base, flow_base, flow_count, misrouted_ptr,
-                           node, runtime_base, queue_ptr,
-                           sample](std::span<const std::uint8_t> payload,
-                                   const sim::FlitEnvelope& envelope) {
+                           node, runtime_base, queue_ptr, sample,
+                           debug](std::span<const std::uint8_t> payload,
+                                  const sim::FlitEnvelope& envelope) {
       if (envelope.has_truth && envelope.flow_id < flow_count &&
           flow_base[envelope.flow_id].dst == node) {
         board_base[envelope.flow_id].on_deliver(payload, envelope);
+        FlowRuntime& runtime = runtime_base[envelope.flow_id];
         if (sample) {
-          FlowRuntime& runtime = runtime_base[envelope.flow_id];
-          if (envelope.truth_index < runtime.inject_at.size())
-            runtime.samples.push_back(
-                queue_ptr->now() - runtime.inject_at[envelope.truth_index]);
+          // The ring slot still carries this truth index unless the flow
+          // fell more than kLatencyRingSlots behind its newest pull; an
+          // overwritten slot is a MISS, counted instead of silently
+          // skipped (samples must never undercount without a signal).
+          const std::size_t slot =
+              static_cast<std::size_t>(envelope.truth_index) %
+              runtime.ring_tag.size();
+          if (runtime.ring_tag[slot] == envelope.truth_index) {
+            const TimePs delay = queue_ptr->now() - runtime.ring_at[slot];
+            runtime.latency.add(delay);
+            if (debug) runtime.debug_samples.push_back(delay);
+          } else {
+            runtime.sample_misses += 1;
+          }
+        }
+        if (runtime.loop.has_value()) {
+          // Closed loop: this completion frees a window slot after the
+          // think time, then re-kicks the source.
+          ClosedLoopWindow* const loop = &*runtime.loop;
+          Endpoint* const src = runtime.source;
+          queue_ptr->schedule(loop->think(), [loop, src] {
+            loop->on_ready();
+            src->kick();
+          });
         }
       } else {
         *misrouted_ptr += 1;
@@ -1070,19 +1151,50 @@ DagReport run_dag_fabric(const DagConfig& config) {
     const std::uint64_t budget = flow.flits;
     const std::uint64_t salt = flow.salt;
     FlowRuntime* const runtime = &flow_runtime[f];
-    if (sample) runtime->inject_at.resize(flow.flits, 0);
-    const TimePs pace = flow.pace;
+    runtime->source = source;
+    ArrivalKind arrival = flow.arrival;
+    if (arrival == ArrivalKind::kGreedy && flow.pace > 0)
+      arrival = ArrivalKind::kPaced;  // legacy shorthand
+    if (arrival == ArrivalKind::kPaced || arrival == ArrivalKind::kPoisson ||
+        arrival == ArrivalKind::kOnOff) {
+      ArrivalSpec arrival_spec;
+      arrival_spec.kind = arrival;
+      arrival_spec.interval = flow.interval > 0 ? flow.interval : flow.pace;
+      arrival_spec.on_mean_flits = flow.on_mean_flits;
+      arrival_spec.off_mean = flow.off_mean;
+      // Private per-flow stream, NOT drawn from the fabric seeder: an
+      // extra seeder draw here would shift every channel seed and change
+      // the wire trajectory of flows that use no randomness at all.
+      arrival_spec.seed =
+          config.seed ^
+          (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(f) + 1)) ^
+          flow.arrival_seed;
+      runtime->arrivals.emplace(arrival_spec);
+    } else if (arrival == ArrivalKind::kClosedLoop) {
+      runtime->loop.emplace(flow.window, flow.think);
+    }
+    if (sample) {
+      const std::uint64_t depth = std::min<std::uint64_t>(
+          kLatencyRingSlots, std::max<std::uint64_t>(budget, 1));
+      runtime->ring_at.assign(static_cast<std::size_t>(depth), 0);
+      runtime->ring_tag.assign(static_cast<std::size_t>(depth),
+                               ~std::uint64_t{0});
+    }
+    const bool rate_shaped = runtime->arrivals.has_value();
     sim::EventQueue* const queue_ptr = &queue;
-    source->set_source([board, offered_ptr, budget, salt, runtime, pace,
-                        sample, queue_ptr, source](std::uint64_t index)
+    source->set_source([board, offered_ptr, budget, salt, runtime,
+                        rate_shaped, sample, queue_ptr, source](
+                           std::uint64_t index)
                            -> std::optional<std::vector<std::uint8_t>> {
       if (index >= budget) return std::nullopt;
-      if (pace > 0) {
-        // Paced source: index i is offered no earlier than i * pace. A
-        // premature pull arms one wake-up kick at the due instant, so the
-        // flow needs no external traffic to resume (and arms at most one
-        // timer however often the endpoint polls meanwhile).
-        const TimePs due = static_cast<TimePs>(index) * pace;
+      TimePs inject_stamp = queue_ptr->now();
+      if (rate_shaped) {
+        // Rate-shaped source: index i is offered no earlier than its
+        // arrival due-time. A premature pull arms one wake-up kick at the
+        // due instant, so the flow needs no external traffic to resume
+        // (and arms at most one timer however often the endpoint polls
+        // meanwhile).
+        const TimePs due = runtime->arrivals->due(index);
         const TimePs now = queue_ptr->now();
         if (now < due) {
           if (!runtime->pace_armed) {
@@ -1094,8 +1206,20 @@ DagReport run_dag_fabric(const DagConfig& config) {
           }
           return std::nullopt;
         }
+        // Latency is measured from the ARRIVAL, not the pull: under
+        // overload the source-side backlog is part of the delay, which is
+        // what makes a load-latency curve inflect past saturation.
+        inject_stamp = due;
+      } else if (runtime->loop.has_value()) {
+        if (!runtime->loop->may_offer()) return std::nullopt;
+        runtime->loop->on_offer();
       }
-      if (sample) runtime->inject_at[index] = queue_ptr->now();
+      if (sample) {
+        const std::size_t slot =
+            static_cast<std::size_t>(index) % runtime->ring_tag.size();
+        runtime->ring_tag[slot] = index;
+        runtime->ring_at[slot] = inject_stamp;
+      }
       std::vector<std::uint8_t> payload = make_stream_payload(index, salt);
       board->register_sent(index, payload);
       *offered_ptr = index + 1;
@@ -1122,7 +1246,9 @@ DagReport run_dag_fabric(const DagConfig& config) {
     flow_report.path_edges = plan.flow_paths[f];
     flow_report.rerouted =
         controller != nullptr && controller->flow_rerouted(f);
-    flow_report.latency_samples = std::move(flow_runtime[f].samples);
+    flow_report.latency = flow_runtime[f].latency;
+    flow_report.latency_sample_misses = flow_runtime[f].sample_misses;
+    flow_report.latency_samples = std::move(flow_runtime[f].debug_samples);
   }
   if (controller != nullptr) report.reroutes = controller->reports();
   for (const Domain& domain : domains) {
@@ -1316,6 +1442,19 @@ std::uint64_t DagReport::total_reroutes_executed() const {
   std::uint64_t total = 0;
   for (const DagRerouteReport& reroute : reroutes)
     if (reroute.rerouted) total += 1;
+  return total;
+}
+
+stats::LatencyHistogram DagReport::merged_latency() const {
+  stats::LatencyHistogram merged;
+  for (const DagFlowReport& flow : flows) merged.merge(flow.latency);
+  return merged;
+}
+
+std::uint64_t DagReport::total_latency_sample_misses() const {
+  std::uint64_t total = 0;
+  for (const DagFlowReport& flow : flows)
+    total += flow.latency_sample_misses;
   return total;
 }
 

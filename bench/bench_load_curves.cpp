@@ -23,9 +23,11 @@
 // identical for any RXL_TRIAL_WORKERS; CI diffs the 1-vs-4-worker outputs
 // against bench/expected/load_curves.txt.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "rxl/obs/export.hpp"
 #include "rxl/sim/stats.hpp"
 #include "rxl/sim/trial_runner.hpp"
 #include "rxl/stats/latency_histogram.hpp"
@@ -114,9 +116,94 @@ std::string goodput_per_us(std::uint64_t delivered) {
   return buffer;
 }
 
+std::string pct_of(TimePs part, TimePs total) {
+  if (total == 0) return "0.0";
+  const std::uint64_t tenths = (part * 1000 + total / 2) / total;
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu.%llu",
+                static_cast<unsigned long long>(tenths / 10),
+                static_cast<unsigned long long>(tenths % 10));
+  return buffer;
+}
+
+/// `--traced`: one traced run of the table's hottest cell (incast-4, RXL,
+/// 125% load) with per-flit journey reconstruction, attributing each
+/// flow's worst-case latency to queue wait vs credit stall vs retry vs
+/// wire time. Demonstrates where the p999 inflection physically lives; the
+/// default table output is byte-identical with or without this mode
+/// compiled in (separate process, separate stdout).
+int run_traced_attribution() {
+  LoadCase scenario{"incast-4", Family::kIncast, transport::Protocol::kRxl,
+                    125};
+  transport::DagConfig config = build(scenario);
+  config.trace.enabled = true;
+  config.trace.ring_depth = 1u << 17;  // retain every event at this horizon
+  config.debug_latency_samples = true;
+  const transport::DagReport report = transport::run_dag_fabric(config);
+  const stats::LatencyHistogram merged = report.merged_latency();
+
+  std::printf(
+      "Tail-latency attribution — incast-4, RXL, 125%% load (traced run of\n"
+      "the load-curves table's hottest cell)\n"
+      "====================================================================\n\n"
+      "delivered %llu, p99 %llu ns, p999 %llu ns, trace %llu events, %llu\n"
+      "overruns. Per flow, the worst-latency flit's journey, attributed:\n\n",
+      static_cast<unsigned long long>(report.total_in_order()),
+      static_cast<unsigned long long>(merged.p99() / 1000),
+      static_cast<unsigned long long>(merged.p999() / 1000),
+      static_cast<unsigned long long>(report.trace.total_events()),
+      static_cast<unsigned long long>(report.trace.total_overruns()));
+
+  sim::TextTable table({"flow", "truth", "total ns", "queue %", "stall %",
+                        "retry %", "wire %", "hops"});
+  std::uint16_t worst_flow = 0;
+  std::uint64_t worst_truth = 0;
+  TimePs worst_total = 0;
+  for (std::size_t f = 0; f < report.flows.size(); ++f) {
+    const std::vector<TimePs>& samples = report.flows[f].latency_samples;
+    if (samples.empty()) continue;
+    std::size_t slowest = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i)
+      if (samples[i] > samples[slowest]) slowest = i;
+    // In-order acceptance: the i-th delivery is truth index i.
+    const obs::FlitJourney journey = obs::reconstruct_journey(
+        report.trace, static_cast<std::uint16_t>(f), slowest);
+    if (!journey.complete) continue;
+    table.add_row({std::to_string(f), std::to_string(slowest),
+                   std::to_string(journey.total() / 1000),
+                   pct_of(journey.total_queue_wait(), journey.total()),
+                   pct_of(journey.total_credit_stall(), journey.total()),
+                   pct_of(journey.total_retry_time(), journey.total()),
+                   pct_of(journey.total_wire_time(), journey.total()),
+                   std::to_string(journey.hops.size())});
+    if (journey.total() > worst_total) {
+      worst_total = journey.total();
+      worst_flow = static_cast<std::uint16_t>(f);
+      worst_truth = slowest;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const obs::FlitJourney worst =
+      obs::reconstruct_journey(report.trace, worst_flow, worst_truth);
+  if (worst.complete) {
+    std::printf("Worst flit (flow %u, truth %llu), per hop:\n\n%s\n",
+                worst_flow, static_cast<unsigned long long>(worst_truth),
+                obs::journey_table(worst, report.trace).c_str());
+  }
+  std::printf(
+      "Reading: past saturation the tail is queue wait and credit stall at\n"
+      "the shared sink hop — arrival backlog and an exhausted credit\n"
+      "window — not retries or wire time. The same flit on an uncontended\n"
+      "path spends ~100%% in wire time.\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--traced") == 0)
+    return run_traced_attribution();
   std::printf(
       "RXL reproduction — load-latency curves (open-loop Poisson arrivals)\n"
       "===================================================================\n\n"

@@ -11,10 +11,12 @@
 #include <memory>
 
 #include "rxl/common/rng.hpp"
+#include "rxl/obs/trace.hpp"
 #include "rxl/phy/error_model.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/link_channel.hpp"
 #include "rxl/sim/timer.hpp"
+#include "rxl/transport/dag_fabric.hpp"
 
 using namespace rxl;
 
@@ -88,6 +90,60 @@ void BM_LinkChannel_SendDeliver(benchmark::State& state) {
   benchmark::DoNotOptimize(delivered);
 }
 BENCHMARK(BM_LinkChannel_SendDeliver);
+
+// One TraceRing write: the marginal cost of every emission site when
+// tracing is on (a bounded ring store, no allocation). The trace-off cost
+// is a single null-pointer branch and is measured end-to-end below.
+void BM_TraceRing_Record(benchmark::State& state) {
+  obs::TraceRing ring(4096);
+  obs::TraceEvent event;
+  event.kind = obs::TraceEventKind::kTx;
+  TimePs at = 0;
+  for (auto _ : state) {
+    event.at = at++;
+    ring.record(event);
+  }
+  benchmark::DoNotOptimize(ring.overruns());
+}
+BENCHMARK(BM_TraceRing_Record);
+
+// Whole-fabric overhead of the trace knob: one chain-DAG Monte Carlo trial
+// (two relays, burst errors, credits on) with tracing compiled in but off
+// vs on. The off/compiled-out delta is the cost of the null-pointer
+// branches at every emission site; the on/off delta is ring writes plus
+// capture. EXPERIMENTS.md records both ratios.
+transport::DagConfig traced_chain_config(bool traced) {
+  transport::DagScenarioSpec spec;
+  spec.protocol.protocol = transport::Protocol::kRxl;
+  spec.protocol.coalesce_factor = 10;
+  spec.burst_injection_rate = 1e-3;
+  spec.seed = 311;
+  spec.hop_credits = 8;
+  spec.sample_latency = true;
+  spec.flits_per_flow = 48;
+  spec.horizon = 50'000'000;
+  transport::DagConfig config = transport::make_chain_dag(spec, 2);
+  config.trace.enabled = traced;
+  return config;
+}
+
+void BM_DagChain_TraceOff(benchmark::State& state) {
+  const transport::DagConfig config = traced_chain_config(false);
+  std::uint64_t delivered = 0;
+  for (auto _ : state)
+    delivered += transport::run_dag_fabric(config).total_in_order();
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_DagChain_TraceOff)->Unit(benchmark::kMicrosecond);
+
+void BM_DagChain_TraceOn(benchmark::State& state) {
+  const transport::DagConfig config = traced_chain_config(true);
+  std::uint64_t events = 0;
+  for (auto _ : state)
+    events += transport::run_dag_fabric(config).trace.total_events();
+  benchmark::DoNotOptimize(events);
+}
+BENCHMARK(BM_DagChain_TraceOn)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

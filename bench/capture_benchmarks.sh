@@ -20,6 +20,18 @@ out_dir="${1:-bench/captures}"
 build_dir=build
 mkdir -p "$out_dir"
 
+# Post-run artifact check: a bench that exits 0 but writes nothing (or an
+# interrupted tee) must fail the capture, not produce a silently thin
+# directory that a later `diff -u old/ new/` reads as "no change".
+artifacts=()
+require_artifact() {
+  artifacts+=("$1")
+  if [[ ! -s "$1" ]]; then
+    echo "error: expected capture artifact $1 is missing or empty" >&2
+    exit 1
+  fi
+}
+
 if [[ ! -x "$build_dir/bench/bench_codec_micro" ]]; then
   echo "error: $build_dir/bench/bench_codec_micro not built" >&2
   echo "       run: cmake --preset release && cmake --build build -j" >&2
@@ -33,6 +45,7 @@ for micro in codec_micro sim_micro; do
     --benchmark_out_format=json \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true
+  require_artifact "$out_dir/$micro.json"
 done
 
 # Deterministic table reproductions: byte-stable across perf work, so any
@@ -42,7 +55,26 @@ for table in reliability_table bandwidth_table ablation fig8_fit \
              qos load_curves; do
   echo "== bench_$table -> $out_dir/$table.txt"
   "$build_dir/bench/bench_$table" > "$out_dir/$table.txt"
+  require_artifact "$out_dir/$table.txt"
 done
+
+# Observability artifacts: the traced tail-latency attribution and the
+# canned incast trace capture (Chrome-trace JSON + per-component summary).
+# All deterministic — any diff against a previous capture is a behaviour
+# change.
+echo "== bench_load_curves --traced -> $out_dir/load_curves_traced.txt"
+"$build_dir/bench/bench_load_curves" --traced > "$out_dir/load_curves_traced.txt"
+require_artifact "$out_dir/load_curves_traced.txt"
+if [[ -x "$build_dir/tools/rxl_trace/rxl_trace" ]]; then
+  echo "== rxl_trace incast chrome -> $out_dir/trace_chrome.json"
+  "$build_dir/tools/rxl_trace/rxl_trace" incast chrome \
+    > "$out_dir/trace_chrome.json"
+  require_artifact "$out_dir/trace_chrome.json"
+  echo "== rxl_trace incast summary -> $out_dir/trace_summary.txt"
+  "$build_dir/tools/rxl_trace/rxl_trace" incast summary \
+    > "$out_dir/trace_summary.txt"
+  require_artifact "$out_dir/trace_summary.txt"
+fi
 
 echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
 {
@@ -64,5 +96,6 @@ echo "== ctest suite wall-times -> $out_dir/suite_times.txt"
   printf 'full_suite %d.%02ds\n' $(((end - start) / 1000)) \
     $(((end - start) % 1000 / 10))
 } | tee "$out_dir/suite_times.txt"
+require_artifact "$out_dir/suite_times.txt"
 
-echo "capture complete: $out_dir/"
+echo "capture complete: $out_dir/ (${#artifacts[@]} artifacts verified)"

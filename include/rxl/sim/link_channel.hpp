@@ -17,6 +17,7 @@
 #include "rxl/common/rng.hpp"
 #include "rxl/common/types.hpp"
 #include "rxl/flit/flit.hpp"
+#include "rxl/obs/trace.hpp"
 #include "rxl/phy/error_model.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/fault_plan.hpp"
@@ -109,7 +110,21 @@ class LinkChannel {
   [[nodiscard]] TimePs next_free() const noexcept { return next_free_; }
 
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+  /// Unified snapshot API (by-value copy; see Endpoint::snapshot).
+  [[nodiscard]] ChannelStats snapshot() const noexcept { return stats_; }
   [[nodiscard]] TimePs slot() const noexcept { return slot_; }
+
+  /// Attaches the channel to a flit-lifecycle trace sink as `component`.
+  /// The only channel-originated event is kDrop/kDropBlackhole (a flit sent
+  /// into a fault-plan down window); normal transit is traced by the
+  /// endpoints on either side.
+  void set_trace(obs::TraceSink* sink, std::uint16_t component) noexcept {
+    trace_ = sink;
+    trace_component_ = component;
+  }
+  [[nodiscard]] std::uint16_t trace_component() const noexcept {
+    return trace_component_;
+  }
 
  private:
   void deliver_front();
@@ -132,6 +147,8 @@ class LinkChannel {
   /// fires them — and the 256 B envelope never rides inside an event.
   RingQueue<FlitEnvelope> in_flight_;
   ChannelStats stats_;
+  obs::TraceSink* trace_ = nullptr;  ///< flit-lifecycle sink (null = off)
+  std::uint16_t trace_component_ = 0;
 };
 
 }  // namespace rxl::sim

@@ -33,6 +33,7 @@
 
 #include "rxl/common/ring_queue.hpp"
 #include "rxl/link/credit.hpp"
+#include "rxl/obs/trace.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/link_channel.hpp"
 #include "rxl/switchdev/egress_scheduler.hpp"
@@ -126,7 +127,24 @@ class RelaySwitch {
   /// Snapshot of the port's counters (live occupancy and endpoint credit
   /// stalls are sampled at call time).
   [[nodiscard]] RelayPortStats port_stats(std::size_t i) const;
+  /// Unified snapshot API — the name every stats producer shares (see
+  /// Endpoint::snapshot / LinkChannel::snapshot); alias of port_stats.
+  [[nodiscard]] RelayPortStats snapshot(std::size_t i) const {
+    return port_stats(i);
+  }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Attaches the relay's routing fabric (enqueue/no-route decisions) to a
+  /// flit-lifecycle trace sink as `component`. Port endpoints are traced
+  /// separately via their own Endpoint::set_trace. Null detaches; emission
+  /// is a no-op branch when detached.
+  void set_trace(obs::TraceSink* sink, std::uint16_t component) noexcept {
+    trace_ = sink;
+    trace_component_ = component;
+  }
+  [[nodiscard]] std::uint16_t trace_component() const noexcept {
+    return trace_component_;
+  }
 
  private:
   /// A payload parked between acceptance and re-origination, remembering
@@ -162,6 +180,18 @@ class RelaySwitch {
   void account_dequeue(Pending& pending);
   void update_ecn(Port& in_port, std::size_t vc);
 
+  // Flit-lifecycle tracing (see transport/endpoint.hpp for the pattern:
+  // inline null check, out-of-line record path).
+  void trace(obs::TraceEventKind kind, std::uint64_t truth,
+             std::uint16_t flow, std::uint16_t seq, std::uint8_t vc,
+             std::uint32_t arg) noexcept {
+    if (trace_ == nullptr) return;
+    trace_record(kind, truth, flow, seq, vc, arg);
+  }
+  void trace_record(obs::TraceEventKind kind, std::uint64_t truth,
+                    std::uint16_t flow, std::uint16_t seq, std::uint8_t vc,
+                    std::uint32_t arg) noexcept;
+
   sim::EventQueue& queue_;
   std::string name_;
   std::vector<Port> ports_;
@@ -169,6 +199,8 @@ class RelaySwitch {
   static constexpr std::uint32_t kNoRoute = UINT32_MAX;
   std::vector<std::uint32_t> routes_;    ///< flow_id -> egress port
   std::vector<std::uint8_t> flow_vcs_;   ///< flow_id -> VC (default 0)
+  obs::TraceSink* trace_ = nullptr;      ///< flit-lifecycle sink (null = off)
+  std::uint16_t trace_component_ = 0;
 };
 
 }  // namespace rxl::switchdev

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "rxl/link/link_layer.hpp"
+#include "rxl/obs/trace.hpp"
 #include "rxl/sim/fault_plan.hpp"
 #include "rxl/stats/latency_histogram.hpp"
 #include "rxl/switchdev/port_switch.hpp"
@@ -173,6 +174,13 @@ struct DagConfig {
   /// flits — exactly what the histogram exists to avoid). Implies
   /// sample_latency.
   bool debug_latency_samples = false;
+  /// Flit-lifecycle tracing (see obs/trace.hpp). Disabled by default: every
+  /// emission site is then a no-op null-pointer branch, and the run is
+  /// trajectory-identical to a build without tracing (the trace-off CI diff
+  /// pins this). Enabling tracing draws no RNG and schedules no events
+  /// except the optional time-series sampler, which only reads counters —
+  /// traced and untraced runs of one config produce identical reports.
+  obs::TraceSpec trace;
 };
 
 /// Per-flow inject-timestamp ring depth for latency sampling: timestamps
@@ -328,6 +336,12 @@ struct DagReport {
   /// routing-table bug would show up here; the tests pin it at zero).
   std::uint64_t misrouted = 0;
   std::uint64_t slots = 0;
+  /// Flit-lifecycle trace capture (empty unless DagConfig::trace.enabled).
+  /// Component ids match registration order: flow sources, then per-hop
+  /// endpoint pairs, relay fabrics, channels, and the reroute controller.
+  obs::TraceCapture trace;
+  /// Occupancy/goodput time series (empty unless trace.sample_period > 0).
+  std::vector<obs::TimeSeriesPoint> timeseries;
 
   [[nodiscard]] std::uint64_t total_offered() const;
   [[nodiscard]] std::uint64_t total_in_order() const;

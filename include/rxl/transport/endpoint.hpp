@@ -29,6 +29,7 @@
 #include "rxl/link/reorder_buffer.hpp"
 #include "rxl/link/retry_buffer.hpp"
 #include "rxl/link/sequence.hpp"
+#include "rxl/obs/trace.hpp"
 #include "rxl/sim/event_queue.hpp"
 #include "rxl/sim/link_channel.hpp"
 #include "rxl/sim/timer.hpp"
@@ -193,12 +194,30 @@ class Endpoint {
   /// Receive entry point; wire as the inbound channel's receiver.
   void on_flit(sim::FlitEnvelope&& envelope);
 
+  /// Attaches this endpoint to a flit-lifecycle trace sink as `component`.
+  /// Null (the default) keeps every emission site a single no-op branch —
+  /// trajectories and pinned bench tables are untouched.
+  void set_trace(obs::TraceSink* sink, std::uint16_t component) noexcept {
+    trace_ = sink;
+    trace_component_ = component;
+  }
+  [[nodiscard]] std::uint16_t trace_component() const noexcept {
+    return trace_component_;
+  }
+
   [[nodiscard]] const link::EndpointStats& stats() const noexcept {
     return stats_;
   }
   [[nodiscard]] const EndpointExtraStats& extra_stats() const noexcept {
     return extra_;
   }
+  /// Consistent counter-snapshot shape (the metrics registry's endpoint
+  /// surface): both counter structs, copied by value at capture time.
+  struct Snapshot {
+    link::EndpointStats link;
+    EndpointExtraStats extra;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept { return {stats_, extra_}; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
 
@@ -264,6 +283,19 @@ class Endpoint {
   [[nodiscard]] bool hop_death_due() const noexcept;
   void note_silent_episode();
   void declare_hop_dead();
+
+  // Flit-lifecycle tracing. The null check lives inline so a disabled
+  // trace costs one predictable branch at each emission site; the record
+  // path is out of line.
+  void trace(obs::TraceEventKind kind, std::uint64_t truth,
+             std::uint16_t flow, std::uint16_t seq, std::uint8_t vc,
+             std::uint32_t arg) noexcept {
+    if (trace_ == nullptr) return;
+    trace_record(kind, truth, flow, seq, vc, arg);
+  }
+  void trace_record(obs::TraceEventKind kind, std::uint64_t truth,
+                    std::uint16_t flow, std::uint16_t seq, std::uint8_t vc,
+                    std::uint32_t arg) noexcept;
 
   // RX path.
   void rx_data(sim::FlitEnvelope&& envelope);
@@ -337,6 +369,10 @@ class Endpoint {
 
   link::EndpointStats stats_;
   EndpointExtraStats extra_;
+
+  // Flit-lifecycle tracing (null = off; see obs/trace.hpp).
+  obs::TraceSink* trace_ = nullptr;
+  std::uint16_t trace_component_ = 0;
 };
 
 }  // namespace rxl::transport

@@ -35,6 +35,18 @@ TimePs LinkChannel::send(FlitEnvelope envelope) {
       // event, no error-model draw (the RNG stream stays aligned with the
       // flits that actually transit).
       stats_.flits_blackholed += 1;
+      if (trace_ != nullptr) {
+        obs::TraceEvent event;
+        event.at = start;
+        event.truth_index = envelope.truth_index;
+        event.component = trace_component_;
+        event.flow = envelope.flow_id;
+        event.seq = 0;
+        event.vc = 0;
+        event.kind = obs::TraceEventKind::kDrop;
+        event.arg = obs::kDropBlackhole;
+        trace_->record(trace_component_, event);
+      }
       return end;
     }
   }

@@ -135,6 +135,9 @@ void RelaySwitch::inject(std::size_t egress_port,
   // survives reroutes, whatever hop the drained flit was charged on.
   pending.item.vc = vc_of(pending.item.flow_id);
   pending.ingress = kNoIngress;
+  trace(obs::TraceEventKind::kEnqueue, pending.item.truth_index,
+        pending.item.flow_id, 0, pending.item.vc,
+        static_cast<std::uint32_t>(egress_port));
   const std::size_t queue_index =
       scheduler_.policy() == EgressPolicy::kFifo ? 0 : pending.item.vc;
   out_port.queues[queue_index].push_back(std::move(pending));
@@ -192,6 +195,21 @@ RelayPortStats RelaySwitch::port_stats(std::size_t i) const {
   return stats;
 }
 
+void RelaySwitch::trace_record(obs::TraceEventKind kind, std::uint64_t truth,
+                               std::uint16_t flow, std::uint16_t seq,
+                               std::uint8_t vc, std::uint32_t arg) noexcept {
+  obs::TraceEvent event;
+  event.at = queue_.now();
+  event.truth_index = truth;
+  event.component = trace_component_;
+  event.flow = flow;
+  event.seq = seq;
+  event.vc = vc;
+  event.kind = kind;
+  event.arg = arg;
+  trace_->record(trace_component_, event);
+}
+
 void RelaySwitch::on_delivered(std::size_t ingress,
                                std::span<const std::uint8_t> payload,
                                const sim::FlitEnvelope& envelope) {
@@ -202,6 +220,8 @@ void RelaySwitch::on_delivered(std::size_t ingress,
   const std::uint8_t vc = vc_of(envelope.flow_id);
   if (egress == kNoRoute) {
     in_port.stats.dropped_no_route += 1;
+    trace(obs::TraceEventKind::kDrop, envelope.truth_index, envelope.flow_id,
+          0, vc, obs::kDropNoRoute);
     // The drop vacates the buffer slot the upstream transmitter charged
     // for this payload; return the credit or the hop would leak its
     // window one misroute at a time.
@@ -217,6 +237,8 @@ void RelaySwitch::on_delivered(std::size_t ingress,
   pending.ingress = static_cast<std::uint32_t>(ingress);
   const std::size_t queue_index =
       scheduler_.policy() == EgressPolicy::kFifo ? 0 : vc;
+  trace(obs::TraceEventKind::kEnqueue, envelope.truth_index,
+        envelope.flow_id, 0, vc, static_cast<std::uint32_t>(egress));
   out_port.queues[queue_index].push_back(std::move(pending));
   const std::size_t depth = total_pending(out_port);
   if (depth > out_port.stats.max_queue_depth)

@@ -678,6 +678,13 @@ class FaultController {
     return false;
   }
 
+  /// Attaches the controller to a flit-lifecycle trace sink: each executed
+  /// switchover emits kRerouteDrain (flow tagged, arg = re-injected count).
+  void set_trace(obs::TraceSink* sink, std::uint16_t component) noexcept {
+    trace_ = sink;
+    trace_component_ = component;
+  }
+
  private:
   [[nodiscard]] bool quiet(const Item& item) const {
     const std::uint16_t flow = item.reroute->flow;
@@ -717,6 +724,18 @@ class FaultController {
     item.report.rerouted = true;
     item.report.switched_at = queue_.now();
     item.resolved = true;
+    if (trace_ != nullptr) {
+      obs::TraceEvent event;
+      event.at = queue_.now();
+      event.truth_index = 0;
+      event.component = trace_component_;
+      event.flow = flow;
+      event.seq = 0;
+      event.vc = 0;
+      event.kind = obs::TraceEventKind::kRerouteDrain;
+      event.arg = static_cast<std::uint32_t>(item.report.reinjected);
+      trace_->record(trace_component_, event);
+    }
   }
 
   sim::EventQueue& queue_;
@@ -725,6 +744,8 @@ class FaultController {
   std::vector<Item> items_;
   std::vector<std::vector<std::size_t>> items_of_segment_;
   std::vector<std::size_t> fired_order_;  ///< detection order, for reports
+  obs::TraceSink* trace_ = nullptr;       ///< flit-lifecycle sink (null = off)
+  std::uint16_t trace_component_ = 0;
 };
 
 }  // namespace
@@ -741,6 +762,15 @@ DagReport run_dag_fabric(const DagConfig& config) {
   sim::EventQueue queue;
   Xoshiro256 seeder(config.seed);
   auto kind = [&](std::size_t node) { return config.nodes[node].kind; };
+
+  // Flit-lifecycle tracing: the sink exists only when enabled, so every
+  // emission site in the built components stays a null-pointer no-op on
+  // untraced runs. Creating it draws nothing from the fabric seeder — the
+  // channel/hub seed sequence (and with it the wire trajectory) is
+  // byte-identical with tracing on or off.
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (config.trace.enabled)
+    trace_sink = std::make_unique<obs::TraceSink>(config.trace.ring_depth);
 
   // Compile the fault plan into one normalized schedule per edge: the
   // configured per-edge windows, plus a permanent outage on every edge
@@ -1062,6 +1092,40 @@ DagReport run_dag_fabric(const DagConfig& config) {
     }
   }
 
+  // Trace-component registration, in a fixed deterministic order: terminal
+  // endpoints (map order), then per-relay port endpoints and the relay's
+  // routing fabric, forward channels, implicit control wires, and the
+  // reroute controller. Component ids are the registration indices, so a
+  // capture is comparable across runs and worker counts.
+  if (trace_sink != nullptr) {
+    obs::TraceSink* const sink = trace_sink.get();
+    for (const auto& [key, endpoint] : terminal_of)
+      endpoint->set_trace(sink, sink->add_component(endpoint->name()));
+    for (std::size_t v = 0; v < node_count; ++v) {
+      if (relays[v] == nullptr) continue;
+      for (std::size_t p = 0; p < relays[v]->ports(); ++p) {
+        Endpoint& port = relays[v]->port(p);
+        port.set_trace(sink, sink->add_component(port.name()));
+      }
+      std::string fabric_name = relays[v]->name();
+      fabric_name += ".q";
+      relays[v]->set_trace(sink, sink->add_component(std::move(fabric_name)));
+    }
+    for (std::size_t e = 0; e < channels.size(); ++e) {
+      std::string wire_name = "wire.e";
+      wire_name += std::to_string(e);
+      channels[e]->set_trace(sink, sink->add_component(std::move(wire_name)));
+    }
+    for (std::size_t w = 0; w < control_channels.size(); ++w) {
+      std::string wire_name = "ctrl.w";
+      wire_name += std::to_string(w);
+      control_channels[w]->set_trace(
+          sink, sink->add_component(std::move(wire_name)));
+    }
+    if (controller != nullptr)
+      controller->set_trace(sink, sink->add_component("reroute"));
+  }
+
   // Flow sources and sinks. Per-flow runtime state for arrival processes
   // (one armed wake-up per rate-shaped flow), closed-loop windows, and
   // latency sampling. The sampling footprint is fixed per flow — a
@@ -1086,21 +1150,24 @@ DagReport run_dag_fabric(const DagConfig& config) {
   const bool sample = config.sample_latency || config.debug_latency_samples;
   const bool debug = config.debug_latency_samples;
   std::uint64_t misrouted = 0;
+  std::uint64_t trace_delivered = 0;  ///< time-series goodput counter
   for (const auto& [key, endpoint] : terminal_of) {
     const std::uint16_t node = key.first;
     txn::StreamScoreboard* const board_base = boards.data();
     const DagFlow* const flow_base = config.flows.data();
     const std::size_t flow_count = config.flows.size();
     std::uint64_t* const misrouted_ptr = &misrouted;
+    std::uint64_t* const delivered_ptr = &trace_delivered;
     FlowRuntime* const runtime_base = flow_runtime.data();
     sim::EventQueue* const queue_ptr = &queue;
     endpoint->set_deliver([board_base, flow_base, flow_count, misrouted_ptr,
-                           node, runtime_base, queue_ptr, sample,
-                           debug](std::span<const std::uint8_t> payload,
-                                  const sim::FlitEnvelope& envelope) {
+                           delivered_ptr, node, runtime_base, queue_ptr,
+                           sample, debug](std::span<const std::uint8_t> payload,
+                                          const sim::FlitEnvelope& envelope) {
       if (envelope.has_truth && envelope.flow_id < flow_count &&
           flow_base[envelope.flow_id].dst == node) {
         board_base[envelope.flow_id].on_deliver(payload, envelope);
+        *delivered_ptr += 1;
         FlowRuntime& runtime = runtime_base[envelope.flow_id];
         if (sample) {
           // The ring slot still carries this truth index unless the flow
@@ -1182,9 +1249,12 @@ DagReport run_dag_fabric(const DagConfig& config) {
     }
     const bool rate_shaped = runtime->arrivals.has_value();
     sim::EventQueue* const queue_ptr = &queue;
+    obs::TraceSink* const trace_ptr = trace_sink.get();
+    const std::uint16_t trace_flow = static_cast<std::uint16_t>(f);
+    const std::uint8_t trace_vc = flow.vc;
     source->set_source([board, offered_ptr, budget, salt, runtime,
-                        rate_shaped, sample, queue_ptr, source](
-                           std::uint64_t index)
+                        rate_shaped, sample, queue_ptr, source, trace_ptr,
+                        trace_flow, trace_vc](std::uint64_t index)
                            -> std::optional<std::vector<std::uint8_t>> {
       if (index >= budget) return std::nullopt;
       TimePs inject_stamp = queue_ptr->now();
@@ -1220,11 +1290,59 @@ DagReport run_dag_fabric(const DagConfig& config) {
         runtime->ring_tag[slot] = index;
         runtime->ring_at[slot] = inject_stamp;
       }
+      if (trace_ptr != nullptr) {
+        // Stamped with the arrival DUE time — the same origin the latency
+        // ring stores — so a reconstructed journey's hop sums equal the
+        // histogram-recorded end-to-end sample exactly.
+        obs::TraceEvent event;
+        event.at = inject_stamp;
+        event.truth_index = index;
+        event.component = source->trace_component();
+        event.flow = trace_flow;
+        event.seq = 0;
+        event.vc = trace_vc;
+        event.kind = obs::TraceEventKind::kInject;
+        event.arg = 0;
+        trace_ptr->record(event.component, event);
+      }
       std::vector<std::uint8_t> payload = make_stream_payload(index, salt);
       board->register_sent(index, payload);
       *offered_ptr = index + 1;
       return payload;
     });
+  }
+
+  // Occupancy/goodput time-series sampler: a self-rescheduling observation
+  // event that only READS counters, so the trajectory is untouched (the
+  // traced-vs-untraced report-equality test pins this).
+  struct TraceSampler {
+    sim::EventQueue* queue = nullptr;
+    TimePs period = 0;
+    const std::uint64_t* delivered = nullptr;
+    const std::vector<std::unique_ptr<switchdev::RelaySwitch>>* relays =
+        nullptr;
+    std::vector<obs::TimeSeriesPoint>* out = nullptr;
+    void tick() {
+      std::uint64_t queued = 0;
+      for (const auto& relay : *relays) {
+        if (relay == nullptr) continue;
+        for (std::size_t p = 0; p < relay->ports(); ++p)
+          queued += relay->port_stats(p).queue_occupancy;
+      }
+      out->push_back(obs::TimeSeriesPoint{queue->now(), *delivered, queued});
+      queue->schedule(period, [this] { tick(); });
+    }
+  };
+  std::vector<obs::TimeSeriesPoint> timeseries;
+  TraceSampler sampler;
+  if (trace_sink != nullptr && config.trace.sample_period > 0) {
+    sampler.queue = &queue;
+    sampler.period = config.trace.sample_period;
+    sampler.delivered = &trace_delivered;
+    sampler.relays = &relays;
+    sampler.out = &timeseries;
+    queue.schedule(config.trace.sample_period,
+                   [s = &sampler] { s->tick(); });
   }
 
   for (Endpoint* const source : flow_sources) source->kick();
@@ -1260,18 +1378,20 @@ DagReport run_dag_fabric(const DagConfig& config) {
     hop.forward_edge = segment.egress_edge;
     hop.paired = segment.mate.has_value();
     hop.crosses_hub = segment.hub.has_value();
-    hop.a = domain.a->stats();
-    hop.b = domain.b->stats();
-    hop.a_extra = domain.a->extra_stats();
-    hop.b_extra = domain.b->extra_stats();
+    const Endpoint::Snapshot snap_a = domain.a->snapshot();
+    const Endpoint::Snapshot snap_b = domain.b->snapshot();
+    hop.a = snap_a.link;
+    hop.b = snap_b.link;
+    hop.a_extra = snap_a.extra;
+    hop.b_extra = snap_b.extra;
     for (std::size_t v = 0; v < domain.a->credit_windows().num_vcs(); ++v) {
       hop.a_vc_consumed[v] = domain.a->credit_windows().vc(v).consumed();
       hop.b_vc_consumed[v] = domain.b->credit_windows().vc(v).consumed();
       hop.a_vc_returned[v] = domain.a->credit_ledgers().vc(v).returned();
       hop.b_vc_returned[v] = domain.b->credit_ledgers().vc(v).returned();
     }
-    hop.forward_channel = domain.forward->stats();
-    hop.reverse_channel = domain.reverse->stats();
+    hop.forward_channel = domain.forward->snapshot();
+    hop.reverse_channel = domain.reverse->snapshot();
     report.hops.push_back(hop);
   }
   for (std::size_t v = 0; v < node_count; ++v) {
@@ -1280,12 +1400,16 @@ DagReport run_dag_fabric(const DagConfig& config) {
       relay_report.node = static_cast<std::uint16_t>(v);
       relay_report.ports = relay_ports[v];
       for (std::size_t p = 0; p < relay_report.ports.size(); ++p)
-        relay_report.ports[p].stats = relays[v]->port_stats(p);
+        relay_report.ports[p].stats = relays[v]->snapshot(p);
       report.relays.push_back(std::move(relay_report));
     } else if (kind(v) == DagNodeKind::kHub) {
       report.hubs.push_back(
           DagHubReport{static_cast<std::uint16_t>(v), hubs[v]->stats()});
     }
+  }
+  if (trace_sink != nullptr) {
+    report.trace = trace_sink->capture();
+    report.timeseries = std::move(timeseries);
   }
   return report;
 }

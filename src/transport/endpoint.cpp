@@ -107,6 +107,8 @@ bool Endpoint::send_one() {
     envelope.flow_id = entry->flow_tag;
     single_resends_.pop_front();
     stats_.data_flits_retransmitted += 1;
+    trace(obs::TraceEventKind::kRetry, entry->user_tag, entry->flow_tag, seq,
+          entry->vc, obs::kRetrySelective);
     output_->send(std::move(envelope));
     return true;
   }
@@ -130,6 +132,8 @@ bool Endpoint::send_one() {
           retry_buffer_.find(next) ? std::optional<std::uint16_t>(next)
                                    : std::nullopt;
       stats_.data_flits_retransmitted += 1;
+      trace(obs::TraceEventKind::kRetry, entry->user_tag, entry->flow_tag,
+            entry->seq, entry->vc, obs::kRetryGoBackN);
       output_->send(std::move(envelope));
       return true;
     }
@@ -189,6 +193,7 @@ void Endpoint::note_credit_stall() {
   if (credit_stalled_) return;
   extra_.credit_stalls += 1;
   credit_stalled_ = true;
+  trace(obs::TraceEventKind::kCreditStall, 0, obs::kTraceNoFlow, 0, 0, 0);
   if (config_.retry_timeout > 0 && !credit_probe_timer_.armed())
     credit_probe_timer_.arm(config_.retry_timeout);
 }
@@ -244,6 +249,7 @@ void Endpoint::send_data_flit(std::span<const std::uint8_t> payload,
 
   next_seq_ = link::seq_next(next_seq_);
   stats_.data_flits_sent += 1;
+  trace(obs::TraceEventKind::kTx, truth_index, flow_id, seq, vc, 0);
   output_->send(std::move(envelope));
 }
 
@@ -291,6 +297,8 @@ void Endpoint::on_retry_timer() {
     // everything outstanding.
     extra_.retry_timeouts += 1;
     stats_.retry_rounds += 1;
+    trace(obs::TraceEventKind::kRetry, 0, obs::kTraceNoFlow, 0, 0,
+          obs::kRetryTimeout);
     note_silent_episode();
     if (hop_death_due()) {
       declare_hop_dead();
@@ -429,6 +437,7 @@ void Endpoint::process_vc_credit_word(std::size_t vc,
   extra_.credits_granted += granted;
   if (credit_stalled_) {
     credit_stalled_ = false;
+    trace(obs::TraceEventKind::kCreditStall, 0, obs::kTraceNoFlow, 0, 0, 1);
     if (!ecn_stalled_) credit_probe_timer_.cancel();
   }
   kick();  // window space opened
@@ -440,6 +449,7 @@ void Endpoint::process_ecn_marks(std::uint8_t marks) {
   extra_.ecn_marks_seen +=
       static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(newly)));
   ecn_remote_marks_ = marks;
+  trace(obs::TraceEventKind::kEcnMark, 0, obs::kTraceNoFlow, 0, 0, marks);
   if (ecn_stalled_) {
     ecn_stalled_ = false;
     if (!credit_stalled_) credit_probe_timer_.cancel();
@@ -480,6 +490,8 @@ void Endpoint::declare_hop_dead() {
   nack_timer_.cancel();
   credit_timer_.cancel();
   credit_probe_timer_.cancel();
+  if (credit_stalled_)
+    trace(obs::TraceEventKind::kCreditStall, 0, obs::kTraceNoFlow, 0, 0, 1);
   credit_stalled_ = false;
   replay_cursor_.reset();
   single_resends_.clear();
@@ -499,6 +511,8 @@ void Endpoint::declare_hop_dead() {
     event.drained.push_back(std::move(drained));
   });
   extra_.dead_flits_drained += event.drained.size();
+  trace(obs::TraceEventKind::kRerouteDrain, 0, obs::kTraceNoFlow, 0, 0,
+        static_cast<std::uint32_t>(event.drained.size()));
   retry_buffer_.clear();
   // Satellite of the same fix as PR 5's no-route drop: every window slot
   // still reserved on this hop (drained flits AND flits delivered whose
@@ -526,6 +540,8 @@ void Endpoint::on_flit(sim::FlitEnvelope&& envelope) {
     const rs::FecDecodeResult fec = codec_.fec().decode(envelope.flit.bytes());
     if (!fec.accepted()) {
       stats_.flits_discarded_fec += 1;
+      trace(obs::TraceEventKind::kDrop, envelope.truth_index,
+            envelope.flow_id, 0, 0, obs::kDropFec);
       send_nack();
       return;
     }
@@ -553,6 +569,8 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
     // RXL: corruption OR sequence mismatch (drop/stale) — same response.
     // CXL: corruption only.
     stats_.flits_discarded_crc += 1;
+    trace(obs::TraceEventKind::kDrop, envelope.truth_index, envelope.flow_id,
+          0, 0, obs::kDropCrc);
     send_nack();
     return;
   }
@@ -595,6 +613,8 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
     } else if (link::seq_distance(expected_seq_, seq) < 0) {
       // Behind the window: a stale replay of something already delivered.
       extra_.stale_discards += 1;
+      trace(obs::TraceEventKind::kDrop, envelope.truth_index,
+            envelope.flow_id, seq, 0, obs::kDropStale);
     } else {
       // Ahead of the window: a gap — some flit was silently dropped.
       if (reorder_buffer_.has_value()) {
@@ -605,6 +625,8 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
         return;
       }
       stats_.flits_discarded_seq += 1;
+      trace(obs::TraceEventKind::kDrop, envelope.truth_index,
+            envelope.flow_id, seq, 0, obs::kDropSeqWindow);
       // Threshold: if the transmitter still held our expected flit, its
       // go-back-N window could put at most `capacity` flits ahead of it on
       // the wire before stalling (and its retry timeout would then replay
@@ -641,6 +663,8 @@ void Endpoint::rx_data(sim::FlitEnvelope&& envelope) {
     // standard link-layer replay behaviour. The §4.1 hole below only opens
     // when the loss was SILENT (a switch drop the endpoint never saw).
     extra_.stale_discards += 1;
+    trace(obs::TraceEventKind::kDrop, envelope.truth_index, envelope.flow_id,
+          0, 0, obs::kDropStale);
     return;
   }
   // No error has been *observed*: the receiver forwards the flit and
@@ -660,6 +684,8 @@ void Endpoint::rx_control(const flit::Flit& flit) {
     // NACK the gap would be unsignalled and an ack-carrying successor
     // could mask it (§4.1).
     stats_.flits_discarded_crc += 1;
+    trace(obs::TraceEventKind::kDrop, 0, obs::kTraceNoFlow, 0, 0,
+          obs::kDropCrc);
     send_nack();
     return;
   }
@@ -700,6 +726,8 @@ void Endpoint::rx_control(const flit::Flit& flit) {
 void Endpoint::process_acknum(std::uint16_t acknum) {
   const std::size_t released = retry_buffer_.ack_up_to(acknum);
   if (released > 0) {
+    trace(obs::TraceEventKind::kAck, 0, obs::kTraceNoFlow, acknum, 0,
+          static_cast<std::uint32_t>(released));
     last_ack_progress_ = queue_.now();
     if (silent_episodes_ > 0) {
       // The link flapped (or the peer was wedged) long enough to burn part
@@ -751,6 +779,7 @@ void Endpoint::send_nack() {
   nack_key_ = key;
   last_rx_progress_ = queue_.now();
   stats_.nacks_sent += 1;
+  trace(obs::TraceEventKind::kNack, 0, obs::kTraceNoFlow, last_good, 0, 0);
   enqueue_control(flit::ReplayCmd::kNackGoBackN, last_good);
   arm_nack_timer();
   kick();
@@ -770,6 +799,7 @@ void Endpoint::on_nack_timer() {
     const std::uint16_t last_good =
         static_cast<std::uint16_t>((nack_key_ >> kSeqBits) & kSeqMask);
     stats_.nacks_sent += 1;
+    trace(obs::TraceEventKind::kNack, 0, obs::kTraceNoFlow, last_good, 0, 1);
     enqueue_control(flit::ReplayCmd::kNackGoBackN, last_good);
     last_rx_progress_ = queue_.now();
     kick();
@@ -779,8 +809,30 @@ void Endpoint::on_nack_timer() {
 
 void Endpoint::deliver(const sim::FlitEnvelope& envelope) {
   stats_.flits_delivered += 1;
+  if (trace_ != nullptr) {
+    // Guarded here (not via trace()) so the rx_vc_for_flow scan is never
+    // evaluated when tracing is off.
+    trace_record(obs::TraceEventKind::kDeliver, envelope.truth_index,
+                 envelope.flow_id, seq_prev(expected_seq_),
+                 rx_vc_for_flow(envelope.flow_id), 0);
+  }
   last_rx_progress_ = queue_.now();
   if (deliver_) deliver_(envelope.flit.payload(), envelope);
+}
+
+void Endpoint::trace_record(obs::TraceEventKind kind, std::uint64_t truth,
+                            std::uint16_t flow, std::uint16_t seq,
+                            std::uint8_t vc, std::uint32_t arg) noexcept {
+  obs::TraceEvent event;
+  event.at = queue_.now();
+  event.truth_index = truth;
+  event.component = trace_component_;
+  event.flow = flow;
+  event.seq = seq;
+  event.vc = vc;
+  event.kind = kind;
+  event.arg = arg;
+  trace_->record(trace_component_, event);
 }
 
 void Endpoint::after_delivery(std::uint16_t flow_id) {

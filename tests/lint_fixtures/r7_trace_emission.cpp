@@ -1,0 +1,30 @@
+// rxl-lint golden fixture: must trigger R7 exactly once when scanned with
+// --treat-as <an obs/ file>. Trace emission sits inside the determinism
+// contract: a traced run must replay the untraced run's RNG draw order and
+// produce byte-identical bench tables, and record() is a noexcept
+// fixed-footprint ring write. Drawing from the simulation RNG stream to
+// decorate an event — even the sanctioned seeded Xoshiro256 that R2
+// permits everywhere else — desynchronises every draw after it. The
+// suppressed make_unique below must NOT fire: one-time sink construction
+// before the simulation starts is allowed to allocate, and says so.
+#include <cstdint>
+#include <memory>
+
+#include "rxl/common/rng.hpp"
+#include "rxl/obs/trace.hpp"
+
+namespace rxl::obs {
+
+void emit_decorated(TraceSink* sink, std::uint16_t component,
+                    TraceEvent event, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  event.arg = static_cast<std::uint32_t>(rng());
+  sink->record(component, event);
+}
+
+std::unique_ptr<TraceSink> build_sink(std::size_t depth) {
+  // rxl-lint: allow(R7) construction-time allocation, before the sim runs
+  return std::make_unique<TraceSink>(depth);
+}
+
+}  // namespace rxl::obs

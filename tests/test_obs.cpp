@@ -1,0 +1,318 @@
+// Observability-layer tests: trace-ring overrun accounting, registry
+// completeness re-counts against the compile-time pinned constants,
+// trace-on/trace-off trajectory equality, capture determinism, and the
+// journey reconstruction's exact-partition invariant (per-hop attribution
+// buckets sum to the histogram-recorded end-to-end latency, sample for
+// sample).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rxl/obs/export.hpp"
+#include "rxl/obs/metrics.hpp"
+#include "rxl/obs/trace.hpp"
+#include "rxl/transport/dag_fabric.hpp"
+
+namespace rxl {
+namespace {
+
+obs::TraceEvent event_at(TimePs at) {
+  obs::TraceEvent event;
+  event.at = at;
+  event.kind = obs::TraceEventKind::kTx;
+  return event;
+}
+
+TEST(TraceRing, OverrunAccountingKeepsNewestAndCountsLoss) {
+  obs::TraceRing ring(4);
+  for (TimePs t = 0; t < 7; ++t) ring.record(event_at(t));
+
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.overruns(), 3u);  // events 0,1,2 overwritten, accounted
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    EXPECT_EQ(ring.at(i).at, static_cast<TimePs>(3 + i)) << i;
+
+  const std::vector<obs::TraceEvent> copy = ring.snapshot();
+  ASSERT_EQ(copy.size(), 4u);
+  for (std::size_t i = 0; i < copy.size(); ++i)
+    EXPECT_EQ(copy[i], ring.at(i)) << i;
+}
+
+TEST(TraceRing, BelowCapacityLosesNothing) {
+  obs::TraceRing ring(8);
+  for (TimePs t = 0; t < 5; ++t) ring.record(event_at(t));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.overruns(), 0u);
+  EXPECT_EQ(ring.at(0).at, 0u);
+  EXPECT_EQ(ring.at(4).at, 4u);
+}
+
+TEST(TraceRing, ZeroCapacityClampsToOne) {
+  obs::TraceRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.record(event_at(10));
+  ring.record(event_at(20));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.overruns(), 1u);
+  EXPECT_EQ(ring.at(0).at, 20u);
+}
+
+TEST(TraceSink, RoutesByComponentAndStampsId) {
+  obs::TraceSink sink(4);
+  const std::uint16_t src = sink.add_component("src");
+  const std::uint16_t dst = sink.add_component("dst");
+  ASSERT_EQ(sink.component_count(), 2u);
+
+  obs::TraceEvent event = event_at(7);
+  event.component = 999;  // record() overwrites with the routed id
+  sink.record(dst, event);
+
+  const obs::TraceCapture capture = sink.capture();
+  ASSERT_EQ(capture.components.size(), 2u);
+  EXPECT_EQ(capture.components[src].name, "src");
+  EXPECT_EQ(capture.components[dst].name, "dst");
+  EXPECT_TRUE(capture.components[src].events.empty());
+  ASSERT_EQ(capture.components[dst].events.size(), 1u);
+  EXPECT_EQ(capture.components[dst].events[0].component, dst);
+  EXPECT_EQ(capture.total_events(), 1u);
+  EXPECT_EQ(capture.total_overruns(), 0u);
+}
+
+TEST(TraceSink, CaptureAccumulatesOverrunsAcrossComponents) {
+  obs::TraceSink sink(2);
+  const std::uint16_t a = sink.add_component("a");
+  const std::uint16_t b = sink.add_component("b");
+  for (TimePs t = 0; t < 5; ++t) sink.record(a, event_at(t));
+  for (TimePs t = 0; t < 3; ++t) sink.record(b, event_at(t));
+  EXPECT_EQ(sink.total_overruns(), 3u + 1u);
+  const obs::TraceCapture capture = sink.capture();
+  EXPECT_EQ(capture.components[a].overruns, 3u);
+  EXPECT_EQ(capture.components[b].overruns, 1u);
+  EXPECT_EQ(capture.total_events(), 4u);  // both rings retain capacity
+}
+
+TEST(TraceEventKinds, NamesAreDistinctAndExhaustive) {
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < obs::kTraceEventKindCount; ++k)
+    names.insert(obs::trace_event_kind_name(
+        static_cast<obs::TraceEventKind>(k)));
+  EXPECT_EQ(names.size(), obs::kTraceEventKindCount);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry: the runtime half of the completeness pin. metrics.cpp
+// static_asserts sizeof(struct) against the registered field count at
+// compile time; these re-count the registered names per prefix so the two
+// can never drift apart silently.
+
+TEST(MetricsRegistry, PerStructCountsMatchPinnedConstants) {
+  obs::MetricsRegistry registry;
+  registry.add_endpoint("ep", link::EndpointStats{});
+  registry.add_endpoint_extra("ex", transport::EndpointExtraStats{});
+  registry.add_relay_port("rp", switchdev::RelayPortStats{});
+  registry.add_channel("ch", sim::ChannelStats{});
+  registry.add_hub("hub", switchdev::PortSwitchStats{});
+  registry.add_scoreboard("sb", txn::StreamScoreboard::Stats{});
+
+  EXPECT_EQ(registry.count_prefix("ep."),
+            obs::MetricsRegistry::kEndpointMetricCount);
+  EXPECT_EQ(registry.count_prefix("ex."),
+            obs::MetricsRegistry::kEndpointExtraMetricCount);
+  EXPECT_EQ(registry.count_prefix("rp."),
+            obs::MetricsRegistry::kRelayPortMetricCount);
+  EXPECT_EQ(registry.count_prefix("ch."),
+            obs::MetricsRegistry::kChannelMetricCount);
+  EXPECT_EQ(registry.count_prefix("hub."),
+            obs::MetricsRegistry::kHubMetricCount);
+  EXPECT_EQ(registry.count_prefix("sb."),
+            obs::MetricsRegistry::kScoreboardMetricCount);
+  EXPECT_EQ(registry.size(), obs::MetricsRegistry::kEndpointMetricCount +
+                                 obs::MetricsRegistry::kEndpointExtraMetricCount +
+                                 obs::MetricsRegistry::kRelayPortMetricCount +
+                                 obs::MetricsRegistry::kChannelMetricCount +
+                                 obs::MetricsRegistry::kHubMetricCount +
+                                 obs::MetricsRegistry::kScoreboardMetricCount);
+}
+
+TEST(MetricsRegistry, FindAndMergeAreElementwise) {
+  obs::MetricsRegistry a;
+  a.add("x.one", 3);
+  a.add("x.two", 5);
+  obs::MetricsRegistry b;
+  b.add("x.one", 10);
+  b.add("x.two", 1);
+
+  a.merge(b);
+  ASSERT_NE(a.find("x.one"), nullptr);
+  EXPECT_EQ(*a.find("x.one"), 13u);
+  EXPECT_EQ(*a.find("x.two"), 6u);
+  EXPECT_EQ(a.find("x.three"), nullptr);
+  EXPECT_EQ(a.to_csv(), "metric,value\nx.one,13\nx.two,6\n");
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-level properties. One small traced chain scenario (two relays,
+// burst errors, credits on) exercises every emission site cheaply.
+
+transport::DagConfig chain_config(bool traced) {
+  transport::DagScenarioSpec spec;
+  spec.protocol.protocol = transport::Protocol::kRxl;
+  spec.protocol.coalesce_factor = 10;
+  spec.burst_injection_rate = 1e-3;
+  spec.seed = 311;
+  spec.hop_credits = 8;
+  spec.sample_latency = true;
+  spec.flits_per_flow = 48;
+  spec.horizon = 50'000'000;
+  transport::DagConfig config = transport::make_chain_dag(spec, 2);
+  config.debug_latency_samples = true;
+  if (traced) {
+    config.trace.enabled = true;
+    config.trace.ring_depth = 1u << 14;
+    config.trace.sample_period = 1'000'000;
+  }
+  return config;
+}
+
+TEST(TraceFabric, TracingDoesNotPerturbTheTrajectory) {
+  const transport::DagReport off = run_dag_fabric(chain_config(false));
+  const transport::DagReport on = run_dag_fabric(chain_config(true));
+
+  // Every counter the fabric records, compared through the unified
+  // registry: one mismatch anywhere is a determinism-contract break.
+  const obs::MetricsRegistry moff = obs::collect_metrics(off);
+  const obs::MetricsRegistry mon = obs::collect_metrics(on);
+  ASSERT_EQ(moff.size(), mon.size());
+  EXPECT_TRUE(moff.metrics() == mon.metrics());
+
+  // The raw per-delivery latency samples too: identical draw order means
+  // identical delivery times, not just identical totals.
+  ASSERT_EQ(off.flows.size(), on.flows.size());
+  for (std::size_t f = 0; f < off.flows.size(); ++f)
+    EXPECT_EQ(off.flows[f].latency_samples, on.flows[f].latency_samples) << f;
+
+  EXPECT_TRUE(off.trace.empty());
+  EXPECT_TRUE(off.timeseries.empty());
+  EXPECT_FALSE(on.trace.empty());
+  EXPECT_GT(on.trace.total_events(), 0u);
+}
+
+TEST(TraceFabric, CaptureIsDeterministicAcrossRuns) {
+  const transport::DagReport first = run_dag_fabric(chain_config(true));
+  const transport::DagReport second = run_dag_fabric(chain_config(true));
+  EXPECT_TRUE(first.trace == second.trace);
+  EXPECT_TRUE(first.timeseries == second.timeseries);
+}
+
+TEST(TraceFabric, ComponentRegistrationOrderIsStableAndNamed) {
+  const transport::DagReport report = run_dag_fabric(chain_config(true));
+  ASSERT_FALSE(report.trace.components.empty());
+  // Terminal endpoints first, then relay ports/fabrics, wires, control
+  // wires — all named, no duplicates.
+  std::set<std::string> names;
+  for (const obs::TraceComponentCapture& component : report.trace.components) {
+    EXPECT_FALSE(component.name.empty());
+    EXPECT_TRUE(names.insert(component.name).second)
+        << "duplicate component " << component.name;
+  }
+}
+
+TEST(TraceFabric, JourneyPartitionMatchesHistogramSampleExactly) {
+  const transport::DagConfig config = chain_config(true);
+  const transport::DagReport report = run_dag_fabric(config);
+  ASSERT_EQ(report.flows.size(), 1u);
+  const transport::DagFlowReport& flow = report.flows[0];
+  ASSERT_GT(flow.latency_samples.size(), 0u);
+  // In-order acceptance on every hop: the i-th delivery is truth index i.
+  ASSERT_EQ(flow.scoreboard.in_order, flow.scoreboard.delivered);
+
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < flow.latency_samples.size(); ++i) {
+    const obs::FlitJourney journey =
+        obs::reconstruct_journey(report.trace, 0, i);
+    ASSERT_TRUE(journey.complete) << "truth " << i;
+    EXPECT_FALSE(journey.dropped);
+
+    // The journey's end-to-end latency IS the histogram's sample: both
+    // measure inject due time -> sink delivery in sim time.
+    EXPECT_EQ(journey.total(), flow.latency_samples[i]) << "truth " << i;
+
+    // Exact partition per hop, telescoping across hops.
+    TimePs previous_edge = journey.inject;
+    TimePs summed = 0;
+    for (const obs::JourneyHop& hop : journey.hops) {
+      EXPECT_EQ(hop.ready, previous_edge);
+      EXPECT_EQ(hop.queue_wait + hop.credit_stall + hop.retry_time +
+                    hop.wire_time,
+                hop.delivered - hop.ready);
+      summed += hop.queue_wait + hop.credit_stall + hop.retry_time +
+                hop.wire_time;
+      previous_edge = hop.delivered;
+    }
+    EXPECT_EQ(previous_edge, journey.delivered);
+    EXPECT_EQ(summed, journey.total()) << "truth " << i;
+    EXPECT_EQ(journey.total_queue_wait() + journey.total_credit_stall() +
+                  journey.total_retry_time() + journey.total_wire_time(),
+              journey.total());
+    verified += 1;
+  }
+  EXPECT_EQ(verified, flow.latency_samples.size());
+}
+
+TEST(TraceFabric, TimeSeriesSamplerIsMonotonicSimTime) {
+  const transport::DagReport report = run_dag_fabric(chain_config(true));
+  ASSERT_FALSE(report.timeseries.empty());
+  TimePs last_at = 0;
+  std::uint64_t last_delivered = 0;
+  for (const obs::TimeSeriesPoint& point : report.timeseries) {
+    EXPECT_GE(point.at, last_at);
+    EXPECT_GE(point.delivered, last_delivered);
+    last_at = point.at;
+    last_delivered = point.delivered;
+  }
+  EXPECT_LE(last_delivered, report.total_in_order());
+}
+
+TEST(TraceFabric, ExportShapesAreWellFormed) {
+  const transport::DagReport report = run_dag_fabric(chain_config(true));
+
+  const std::string json = obs::chrome_trace_json(report.trace);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  const std::string csv = obs::trace_csv(report.trace);
+  EXPECT_EQ(csv.rfind("component,name,at_ps,kind,flow,truth,seq,vc,arg", 0),
+            0u);
+  // Header plus one line per retained event.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, 1u + report.trace.total_events());
+
+  const std::string summary = obs::trace_summary(report.trace);
+  EXPECT_NE(summary.find("component"), std::string::npos);
+}
+
+TEST(TraceFabric, CollectMetricsCoversEveryAggregate) {
+  const transport::DagReport report = run_dag_fabric(chain_config(true));
+  const obs::MetricsRegistry registry = obs::collect_metrics(report);
+  EXPECT_EQ(registry.count_prefix("fabric."),
+            obs::MetricsRegistry::kFabricMetricCount);
+  ASSERT_NE(registry.find("fabric.in_order"), nullptr);
+  EXPECT_EQ(*registry.find("fabric.in_order"), report.total_in_order());
+  ASSERT_NE(registry.find("fabric.latency.count"), nullptr);
+  EXPECT_EQ(*registry.find("fabric.latency.count"),
+            report.merged_latency().count());
+  // Per-flow: offered + scoreboard + rerouted + sample_misses + the
+  // 5-entry latency summary.
+  EXPECT_EQ(registry.count_prefix("flow.0."),
+            obs::MetricsRegistry::kScoreboardMetricCount + 3 + 5);
+}
+
+}  // namespace
+}  // namespace rxl

@@ -39,6 +39,13 @@
 //       either hides a missing bound (the overload the credits exist to
 //       prevent) or allocates per flit. Use RingQueue, or suppress with a
 //       comment justifying why the container is externally bounded.
+//   R7  no wall-clock time, RNG draws (including the sanctioned seeded
+//       Xoshiro256 — a trace must never perturb the simulation's draw
+//       order), or heap allocation (std::function, make_unique/shared,
+//       malloc/calloc, non-placement new) in the trace-emission path
+//       (include/rxl/obs/ and src/obs/). Traced and untraced runs promise
+//       byte-identical bench tables; emission is fixed-footprint ring
+//       writes stamped with sim time only.
 //
 // Suppressions:
 //   // rxl-lint: allow(R3)            same line or the line directly above
@@ -94,6 +101,8 @@ constexpr RuleInfo kRules[] = {
            "(IWYU-lite)"},
     {"R6", "no std::deque/std::list in switchdev//link/ hot paths; use "
            "RingQueue or justify the bound"},
+    {"R7", "no wall-clock, RNG draws, or heap allocation in the "
+           "trace-emission path (obs/)"},
 };
 
 bool is_ident_char(char c) {
@@ -281,6 +290,15 @@ bool in_bounded_queue_scope(const std::string& rel) {
   return starts_with(rel, "include/rxl/switchdev/") ||
          starts_with(rel, "src/switchdev/") ||
          starts_with(rel, "include/rxl/link/") || starts_with(rel, "src/link/");
+}
+
+/// R7: the trace-emission surface. Everything under obs/ sits on the
+/// record path or feeds it; the exporters also live here and inherit the
+/// constraint (they run post-simulation, but keeping the whole module
+/// wall-clock/RNG-free is what makes every export a pure function of the
+/// seeds).
+bool in_trace_emission_scope(const std::string& rel) {
+  return starts_with(rel, "include/rxl/obs/") || starts_with(rel, "src/obs/");
 }
 
 bool is_header(const std::string& rel) {
@@ -591,6 +609,76 @@ void check_r6(const std::vector<Line>& lines, const std::string& rel,
   }
 }
 
+void check_r7(const std::vector<Line>& lines, const std::string& rel,
+              std::vector<Finding>* findings) {
+  struct Banned {
+    const char* token;
+    bool call_only;  ///< require '(' after the token (C functions)
+    const char* why;
+  };
+  static const Banned kBanned[] = {
+      // RNG — including the repo's own seeded generator. TraceSink
+      // creation and event emission must not draw: the determinism
+      // contract says a traced run replays the untraced run's draw order
+      // exactly.
+      {"Xoshiro256", false,
+       "trace emission must not draw from the simulation RNG stream"},
+      {"random_device", false, "nondeterministic seed source"},
+      {"mt19937", false, "RNG draw in the trace-emission path"},
+      {"mt19937_64", false, "RNG draw in the trace-emission path"},
+      {"default_random_engine", false, "RNG draw in the trace-emission path"},
+      {"rand", true, "RNG draw in the trace-emission path"},
+      {"srand", true, "RNG state mutation in the trace-emission path"},
+      // Wall-clock — trace timestamps are sim time (TimePs) only.
+      {"time", true, "wall-clock time; trace events are stamped with TimePs"},
+      {"clock", true, "wall-clock time; trace events are stamped with TimePs"},
+      {"gettimeofday", true, "wall-clock time in the trace-emission path"},
+      {"clock_gettime", true, "wall-clock time in the trace-emission path"},
+      {"steady_clock", false, "wall-clock time in the trace-emission path"},
+      {"system_clock", false, "wall-clock time in the trace-emission path"},
+      {"high_resolution_clock", false,
+       "wall-clock time in the trace-emission path"},
+      // Allocation — rings are fixed-footprint; record() is noexcept and
+      // must stay allocation-free so tracing never perturbs timing-adjacent
+      // allocator state.
+      {"make_unique", false, "heap allocation in the trace-emission path"},
+      {"make_shared", false, "heap allocation in the trace-emission path"},
+      {"malloc", true, "heap allocation in the trace-emission path"},
+      {"calloc", true, "heap allocation in the trace-emission path"},
+  };
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    if (is_preprocessor(code)) continue;
+    for (const Banned& b : kBanned) {
+      const std::size_t pos = find_word(code, b.token);
+      if (pos == std::string::npos) continue;
+      if (b.call_only) {
+        std::size_t i = pos + std::string(b.token).size();
+        while (i < code.size() && code[i] == ' ') ++i;
+        if (i >= code.size() || code[i] != '(') continue;
+      }
+      findings->push_back({rel, n + 1, "R7",
+                           std::string("'") + b.token + "': " + b.why});
+    }
+    if (code.find("std::function") != std::string::npos) {
+      findings->push_back({rel, n + 1, "R7",
+                           "std::function in the trace-emission path — "
+                           "heap-allocates captures; emission sites take a "
+                           "raw TraceSink pointer"});
+    }
+    // Heap `new`, excluding placement new (`new (ptr) T`).
+    for (std::size_t pos = find_word(code, "new"); pos != std::string::npos;
+         pos = find_word(code, "new", pos + 1)) {
+      std::size_t i = pos + 3;
+      while (i < code.size() && code[i] == ' ') ++i;
+      if (i < code.size() && code[i] == '(') continue;  // placement form
+      findings->push_back({rel, n + 1, "R7",
+                           "heap 'new' in the trace-emission path — rings "
+                           "are fixed-footprint, sized at construction"});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 struct Options {
@@ -645,6 +733,8 @@ void scan_file(const fs::path& file, const Options& opt,
     check_r5(lines, display, &findings);
   if (rule_enabled(opt, "R6") && in_bounded_queue_scope(rel))
     check_r6(lines, display, &findings);
+  if (rule_enabled(opt, "R7") && in_trace_emission_scope(rel))
+    check_r7(lines, display, &findings);
 
   for (Finding& f : findings) {
     if (file_allow.count(f.rule) != 0) continue;
